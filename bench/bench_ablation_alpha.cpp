@@ -1,0 +1,79 @@
+// Ablation (paper Sec. III.A): "usually we choose alpha = 0.5 (a
+// symmetric structure of voltage divider) to minimize the impact of
+// process variation on our design".  Sweeps the designed alpha with the
+// read-current ratio re-matched each time (Eq. 10), and evaluates the
+// variation-aware worst-case margin (mean - 3 sigma) under divider
+// resistor mismatch: the nominal margin peaks near alpha = 0.5, which
+// dominates the trade-off.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "sttram/common/format.hpp"
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/io/table.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/sense/robustness.hpp"
+#include "sttram/stats/distributions.hpp"
+#include "sttram/stats/monte_carlo.hpp"
+
+using namespace sttram;
+
+int main() {
+  bench::heading("Ablation", "choice of the divider ratio alpha");
+
+  const MtjParams mtj = MtjParams::paper_calibrated();
+  const Ohm r_t(917.0);
+
+  TextTable t({"alpha", "beta*", "SM nominal [mV]", "sigma(SM) [mV]",
+               "SM - 3 sigma [mV]", "d-alpha window [%]"});
+  double best_metric = -1e9;
+  double best_alpha = 0.0;
+  double metric_at_half = 0.0;
+  for (const double alpha : {0.30, 0.40, 0.50, 0.60, 0.70}) {
+    SelfRefConfig cfg;
+    cfg.alpha = alpha;
+    const NondestructiveSelfReference scheme(mtj, r_t, cfg);
+    const double beta = scheme.paper_beta();
+    const SenseMargins nominal = scheme.margins(beta);
+    const Window da = scheme.alpha_deviation_window(beta);
+
+    // MC: each divider resistor varies lognormally by 1 %; the realized
+    // ratio alpha' = Rb/(Rt+Rb) deviates and shifts the margins.
+    const RunningStats stats = monte_carlo_stats(
+        42, 4000, [&](Xoshiro256& rng) {
+          const double r_total = 20e6;
+          const double r_bot =
+              sample_lognormal_median(rng, alpha * r_total, 0.01);
+          const double r_top =
+              sample_lognormal_median(rng, (1.0 - alpha) * r_total, 0.01);
+          const double alpha_real = r_bot / (r_bot + r_top);
+          SchemeMismatch mm;
+          mm.alpha_deviation = alpha_real / alpha - 1.0;
+          return scheme.margins(beta, mm).min().value();
+        });
+    const double metric = stats.mean() - 3.0 * stats.stddev();
+    if (metric > best_metric) {
+      best_metric = metric;
+      best_alpha = alpha;
+    }
+    if (alpha == 0.50) metric_at_half = metric;
+    char a[16], b[16], sm[16], sg[16], wc[16], daw[32];
+    std::snprintf(a, sizeof(a), "%.2f", alpha);
+    std::snprintf(b, sizeof(b), "%.3f", beta);
+    std::snprintf(sm, sizeof(sm), "%.2f", nominal.min().value() * 1e3);
+    std::snprintf(sg, sizeof(sg), "%.3f", stats.stddev() * 1e3);
+    std::snprintf(wc, sizeof(wc), "%.2f", metric * 1e3);
+    std::snprintf(daw, sizeof(daw), "%.2f .. %.2f", da.lo * 100.0,
+                  da.hi * 100.0);
+    t.add_row({a, b, sm, sg, wc, daw});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf("Reproduction claims (paper Sec. III.A):\n");
+  bench::claim(
+      "alpha = 0.5 maximizes the variation-aware worst-case margin",
+      best_alpha == 0.50);
+  bench::claim("worst-case margin at alpha = 0.5 stays positive",
+               metric_at_half > 0.0);
+  return 0;
+}

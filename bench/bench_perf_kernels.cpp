@@ -1,0 +1,94 @@
+// Performance microbenchmarks (google-benchmark) of the library's hot
+// kernels: margin evaluation, equal-margin optimization, Monte-Carlo
+// cell sampling, MNA factorization and the full circuit-level read.
+#include <benchmark/benchmark.h>
+
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/device/variation.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/sense/robustness.hpp"
+#include "sttram/sim/spice_read.hpp"
+#include "sttram/sim/yield.hpp"
+#include "sttram/spice/matrix.hpp"
+#include "sttram/stats/rng.hpp"
+
+namespace {
+
+using namespace sttram;
+
+void BM_MarginEvaluation(benchmark::State& state) {
+  const NondestructiveSelfReference scheme(MtjParams::paper_calibrated(),
+                                           Ohm(917.0), SelfRefConfig{});
+  double beta = 2.13;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.margins(beta));
+    beta += 1e-9;  // defeat value caching
+  }
+}
+BENCHMARK(BM_MarginEvaluation);
+
+void BM_OptimalBeta(benchmark::State& state) {
+  const NondestructiveSelfReference scheme(MtjParams::paper_calibrated(),
+                                           Ohm(917.0), SelfRefConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheme.optimal_beta());
+  }
+}
+BENCHMARK(BM_OptimalBeta);
+
+void BM_DeltaRWindow(benchmark::State& state) {
+  const NondestructiveSelfReference scheme(MtjParams::paper_calibrated(),
+                                           Ohm(917.0), SelfRefConfig{});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(delta_r_window(scheme, 2.13));
+  }
+}
+BENCHMARK(BM_DeltaRWindow);
+
+void BM_VariationSampling(benchmark::State& state) {
+  const MtjVariationModel model(MtjParams::paper_calibrated(),
+                                VariationParams{});
+  Xoshiro256 rng(7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.sample(rng));
+  }
+}
+BENCHMARK(BM_VariationSampling);
+
+void BM_YieldExperimentPerKbit(benchmark::State& state) {
+  YieldConfig cfg;
+  cfg.geometry = {32, 32};  // 1 kb
+  cfg.max_scatter_points = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(run_yield_experiment(cfg));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_YieldExperimentPerKbit);
+
+void BM_LuFactorization(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  spice::Matrix a(n, n);
+  Xoshiro256 rng(13);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.next_double();
+    a(r, r) += static_cast<double>(n);  // diagonally dominant
+  }
+  for (auto _ : state) {
+    spice::LuFactorization lu(a);
+    benchmark::DoNotOptimize(lu.min_pivot());
+  }
+}
+BENCHMARK(BM_LuFactorization)->Arg(16)->Arg(64);
+
+void BM_SpiceNondestructiveRead(benchmark::State& state) {
+  SpiceReadConfig cfg;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(simulate_nondestructive_read(cfg));
+  }
+}
+BENCHMARK(BM_SpiceNondestructiveRead);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+// Shared helpers for the reproduction benches: every bench prints its
+// figure/table and a "paper vs measured" summary block.
+#pragma once
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+namespace sttram::bench {
+
+inline void heading(const std::string& id, const std::string& title) {
+  std::cout << "\n================================================================\n"
+            << id << " — " << title << '\n'
+            << "================================================================\n";
+}
+
+/// One paper-vs-measured comparison row.
+inline void compare(const std::string& what, double paper, double measured,
+                    const std::string& unit) {
+  const double rel =
+      paper != 0.0 ? (measured - paper) / paper * 100.0 : 0.0;
+  std::printf("  %-44s paper %10.4g %-5s measured %10.4g %-5s (%+.1f %%)\n",
+              what.c_str(), paper, unit.c_str(), measured, unit.c_str(),
+              rel);
+}
+
+/// A qualitative reproduction claim.
+inline void claim(const std::string& what, bool holds) {
+  std::printf("  %-60s [%s]\n", what.c_str(), holds ? "REPRODUCED" : "MISS");
+}
+
+}  // namespace sttram::bench

@@ -1,0 +1,130 @@
+// Example: a standalone mini-SPICE.  Reads a netlist deck, runs the
+// .tran directive (or a DC operating point when absent), and prints the
+// node voltages / exports waveforms.
+//
+// Usage: netlist_runner <deck.sp> [out.csv|out.vcd]
+//
+// Try it on the bundled 1T1J read deck:
+//   cat > /tmp/read.sp <<'DECK'
+//   nondestructive read, second phase
+//   I1 0 bl 200u
+//   Jmtj bl mid MTJ state=ap
+//   M1 mid g 0 NMOS beta=1.454m vth=0.45
+//   Vg g 0 PWL(0 0 1n 0 1.2n 1.2)
+//   Rdiv1 bl vbo 10meg
+//   Rdiv2 vbo 0 10meg
+//   Cbl bl 0 192f
+//   .tran 25p 10n trap
+//   DECK
+//   ./build/examples/netlist_runner /tmp/read.sp
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+
+#include "sttram/common/error.hpp"
+#include "sttram/io/csv.hpp"
+#include "sttram/io/vcd.hpp"
+#include "sttram/spice/parser.hpp"
+
+using namespace sttram;
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: netlist_runner <deck.sp> [out.csv|.vcd]\n");
+    return 2;
+  }
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  try {
+    auto deck = spice::parse_spice_deck(in);
+    if (!deck.title.empty()) {
+      std::printf("deck: %s\n", deck.title.c_str());
+    }
+    std::printf("%zu elements, %zu nodes\n", deck.circuit.element_count(),
+                deck.circuit.node_count());
+
+    if (deck.dc.has_value()) {
+      const auto points =
+          dc_sweep(deck.circuit, deck.dc->source, deck.dc->values);
+      std::printf(".dc sweep of %s (%zu points):\n",
+                  deck.dc->source.c_str(), points.size());
+      for (std::size_t p = 0; p < points.size(); ++p) {
+        std::printf("  %-12g", deck.dc->values[p]);
+        for (std::size_t k = 0; k < deck.circuit.node_count(); ++k) {
+          std::printf(" V(%s)=%.6g",
+                      deck.circuit.node_name(static_cast<int>(k)).c_str(),
+                      points[p].voltage(static_cast<int>(k)));
+        }
+        std::printf("\n");
+      }
+      return 0;
+    }
+    if (!deck.tran.has_value()) {
+      const auto sol = solve_dc(deck.circuit);
+      std::printf("DC operating point:\n");
+      for (std::size_t k = 0; k < deck.circuit.node_count(); ++k) {
+        std::printf("  V(%s) = %.6g V\n",
+                    deck.circuit.node_name(static_cast<int>(k)).c_str(),
+                    sol.voltage(static_cast<int>(k)));
+      }
+      return 0;
+    }
+
+    const auto waves = run_transient(deck.circuit, *deck.tran);
+    std::printf("transient: %zu samples to %.4g s\n", waves.sample_count(),
+                deck.tran->t_stop);
+    std::printf("final voltages:\n");
+    for (std::size_t k = 0; k < deck.circuit.node_count(); ++k) {
+      std::printf("  V(%s) = %.6g V\n",
+                  deck.circuit.node_name(static_cast<int>(k)).c_str(),
+                  waves.final_voltage(static_cast<int>(k)));
+    }
+
+    if (argc > 2) {
+      const std::string path = argv[2];
+      std::ofstream out(path);
+      if (!out) {
+        std::fprintf(stderr, "cannot open %s\n", path.c_str());
+        return 1;
+      }
+      const std::size_t nodes = deck.circuit.node_count();
+      if (path.size() > 4 && path.substr(path.size() - 4) == ".vcd") {
+        std::vector<VcdRealSignal> signals(nodes);
+        for (std::size_t n = 0; n < nodes; ++n) {
+          signals[n].name =
+              "V(" + deck.circuit.node_name(static_cast<int>(n)) + ")";
+          for (std::size_t k = 0; k < waves.sample_count(); ++k) {
+            signals[n].values.push_back(
+                waves.voltage(static_cast<int>(n), k));
+          }
+        }
+        VcdWriter("netlist").write(out, waves.times(), signals);
+        std::printf("wrote VCD to %s\n", path.c_str());
+      } else {
+        CsvWriter csv(out);
+        std::vector<std::string> header{"t"};
+        for (std::size_t n = 0; n < nodes; ++n) {
+          header.push_back(
+              "V(" + deck.circuit.node_name(static_cast<int>(n)) + ")");
+        }
+        csv.write_row(header);
+        for (std::size_t k = 0; k < waves.sample_count(); ++k) {
+          std::vector<double> row{waves.time(k)};
+          for (std::size_t n = 0; n < nodes; ++n) {
+            row.push_back(waves.voltage(static_cast<int>(n), k));
+          }
+          csv.write_row(row);
+        }
+        std::printf("wrote CSV to %s\n", path.c_str());
+      }
+    }
+  } catch (const Error& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Example: the non-volatility argument, demonstrated.
+//
+// Emulates a battery-backed logger whose supply can drop at any instant
+// during a read.  With the destructive self-reference scheme a read is a
+// read-erase-writeback cycle, so an ill-timed power failure destroys the
+// stored bit; the nondestructive scheme never writes, so the bit always
+// survives.  The demo sweeps the failure instant across every phase of
+// both reads and prints a survival matrix.
+#include <cstdio>
+
+#include "sttram/io/table.hpp"
+#include "sttram/sim/timing_energy.hpp"
+
+using namespace sttram;
+
+int main() {
+  CostComparisonConfig cfg;
+  const auto outcomes = power_failure_experiment(cfg);
+
+  TextTable t({"scheme", "stored bit", "power fails after",
+               "bit after reboot"});
+  std::size_t lost = 0;
+  for (const auto& o : outcomes) {
+    if (!o.data_survived) ++lost;
+    t.add_row({o.scheme, o.stored_bit ? "1" : "0", o.phase_name,
+               o.data_survived ? "intact" : "DESTROYED"});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("%zu of %zu failure scenarios destroy data — all of them in "
+              "the destructive scheme's erase..write-back window.\n",
+              lost, outcomes.size());
+  std::printf("The nondestructive scheme keeps STT-RAM truly nonvolatile: "
+              "a read can be interrupted at any point.\n");
+  return 0;
+}

@@ -1,0 +1,218 @@
+// sttram_cli — one entry point over the whole library.
+//
+//   sttram_cli margins [beta]         scheme margins on the calibrated device
+//   sttram_cli design                 automatic nondestructive-read design
+//   sttram_cli robustness             Table II windows for both schemes
+//   sttram_cli yield [rows cols sig]  array yield summary (4 schemes)
+//   sttram_cli tail [margin_mv]       importance-sampled failure tail
+//   sttram_cli read [0|1]             execute a read + Fig. 9 timing diagram
+//   sttram_cli transient [0|1]        circuit-level (MNA) read summary
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "sttram/common/format.hpp"
+#include "sttram/io/json.hpp"
+#include "sttram/io/table.hpp"
+#include "sttram/sense/design.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/sense/robustness.hpp"
+#include "sttram/sim/spice_read.hpp"
+#include "sttram/sim/tail.hpp"
+#include "sttram/sim/timing_diagram.hpp"
+#include "sttram/sim/yield.hpp"
+
+using namespace sttram;
+
+namespace {
+
+int cmd_margins(int argc, char** argv) {
+  const MtjParams mtj = MtjParams::paper_calibrated();
+  const Ohm r_t(917.0);
+  const SelfRefConfig config;
+  const NondestructiveSelfReference nondes(mtj, r_t, config);
+  const DestructiveSelfReference destr(mtj, r_t, config);
+  const double beta = argc > 2 ? std::atof(argv[2]) : nondes.paper_beta();
+  const ConventionalSensing conv(mtj, r_t, config.i_max);
+  const ReferenceCellSensing refcell(mtj, mtj, r_t, config.i_max);
+
+  TextTable t({"scheme", "SM0", "SM1", "writes/read"});
+  const SenseMargins mc = conv.margins(conv.midpoint_reference());
+  t.add_row({"conventional (fixed V_REF)", format(mc.sm0), format(mc.sm1),
+             "0"});
+  const SenseMargins mr = refcell.margins();
+  t.add_row({"reference-cell", format(mr.sm0), format(mr.sm1), "0"});
+  const SenseMargins md = destr.margins(destr.paper_beta());
+  t.add_row({"destructive self-ref (beta=" +
+                 format_double(destr.paper_beta(), 3) + ")",
+             format(md.sm0), format(md.sm1), "2"});
+  const SenseMargins mn = nondes.margins(beta);
+  t.add_row({"nondestructive self-ref (beta=" + format_double(beta, 4) +
+                 ")",
+             format(mn.sm0), format(mn.sm1), "0"});
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_design(int, char**) {
+  const SchemeDesign d = design_nondestructive_read(
+      MtjParams::paper_calibrated(), Ohm(917.0), DesignConstraints{});
+  std::printf("%s\n", d.feasible ? "FEASIBLE" : "INFEASIBLE");
+  std::printf("  I_max  = %s (disturb %.2e per read)\n",
+              format(d.i_max).c_str(), d.read_disturb);
+  std::printf("  beta   = %.4f\n", d.beta);
+  std::printf("  SM     = %s / %s\n", format(d.margins.sm0).c_str(),
+              format(d.margins.sm1).c_str());
+  for (const auto& note : d.notes) std::printf("  - %s\n", note.c_str());
+  return d.feasible ? 0 : 1;
+}
+
+int cmd_robustness(int, char**) {
+  const MtjParams mtj = MtjParams::paper_calibrated();
+  const Ohm r_t(917.0);
+  const SelfRefConfig config;
+  const DestructiveSelfReference destr(mtj, r_t, config);
+  const NondestructiveSelfReference nondes(mtj, r_t, config);
+  TextTable t({"quantity", "conventional", "nondestructive"});
+  const RobustnessSummary rc = analyze_robustness(destr, 1.22);
+  const RobustnessSummary rn = analyze_robustness(nondes, 2.13);
+  const auto fmt = [](const Window& w, double scale, const char* unit) {
+    if (!w.valid) return std::string("N/A");
+    return format_double(w.lo * scale, 4) + " .. " +
+           format_double(w.hi * scale, 4) + " " + unit;
+  };
+  t.add_row({"valid beta", fmt(rc.beta, 1.0, ""), fmt(rn.beta, 1.0, "")});
+  t.add_row({"dR window", fmt(rc.delta_r, 1.0, "Ohm"),
+             fmt(rn.delta_r, 1.0, "Ohm")});
+  t.add_row({"d-alpha window", fmt(rc.alpha_dev, 100.0, "%"),
+             fmt(rn.alpha_dev, 100.0, "%")});
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_yield(int argc, char** argv) {
+  YieldConfig cfg;
+  bool as_json = false;
+  int positional = 0;
+  std::size_t rows = 0, cols = 0;
+  for (int k = 2; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--json") == 0) {
+      as_json = true;
+    } else if (positional == 0) {
+      rows = static_cast<std::size_t>(std::atoi(argv[k]));
+      ++positional;
+    } else if (positional == 1) {
+      cols = static_cast<std::size_t>(std::atoi(argv[k]));
+      ++positional;
+    } else {
+      cfg.variation.sigma_common = std::atof(argv[k]);
+    }
+  }
+  if (rows > 0 && cols > 0) cfg.geometry = {rows, cols};
+  cfg.max_scatter_points = 1;
+  const YieldResult r = run_yield_experiment(cfg);
+  if (as_json) {
+    Json out = Json::object();
+    out.set("bits", Json::integer(static_cast<std::int64_t>(
+                        cfg.geometry.cell_count())));
+    out.set("sigma_common", Json::number(cfg.variation.sigma_common));
+    Json schemes = Json::array();
+    for (const SchemeYield* y :
+         {&r.conventional, &r.reference_cell, &r.destructive,
+          &r.nondestructive}) {
+      Json s = Json::object();
+      s.set("scheme", Json::string(y->scheme));
+      s.set("failures",
+            Json::integer(static_cast<std::int64_t>(y->failures)));
+      s.set("failure_rate", Json::number(y->failure_rate()));
+      s.set("sm_min_volts",
+            Json::number(std::min(y->sm0_stats.min(), y->sm1_stats.min())));
+      schemes.push_back(std::move(s));
+    }
+    out.set("schemes", std::move(schemes));
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+  TextTable t({"scheme", "bits", "failures", "rate"});
+  for (const SchemeYield* y :
+       {&r.conventional, &r.reference_cell, &r.destructive,
+        &r.nondestructive}) {
+    t.add_row({y->scheme, std::to_string(y->bits),
+               std::to_string(y->failures),
+               format_percent(y->failure_rate())});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_tail(int argc, char** argv) {
+  TailConfig cfg;
+  if (argc > 2) cfg.threshold = Volt(std::atof(argv[2]) * 1e-3);
+  const TailEstimate e = estimate_margin_tail(cfg, 1, 20000);
+  if (e.design_point.empty()) {
+    std::printf("no failure region within 12 sigma\n");
+    return 0;
+  }
+  std::printf("threshold %s: design point at %.2f sigma\n",
+              format(cfg.threshold).c_str(), e.design_radius);
+  std::printf("P(fail)/bit = %.3e (+- %.1e), E[fails in 16 kb] = %.3g\n",
+              e.estimate.probability, e.estimate.std_error,
+              e.expected_failures_16kb);
+  return 0;
+}
+
+int cmd_read(int argc, char** argv) {
+  const bool bit = argc > 2 ? std::atoi(argv[2]) != 0 : true;
+  OneT1JCell cell;
+  cell.mtj().force_state(from_bit(bit));
+  const SelfRefConfig config;
+  const double beta =
+      NondestructiveSelfReference(cell.mtj().params(), Ohm(917.0), config)
+          .paper_beta();
+  const NondestructiveReadOperation op(config, beta);
+  const ReadResult r = op.execute(cell);
+  std::printf("stored %d -> sensed %d (%s), margin %s, latency %s, "
+              "energy %s\n",
+              bit, r.value, r.correct ? "correct" : "WRONG",
+              format(r.margin).c_str(), format(r.latency).c_str(),
+              format(r.energy).c_str());
+  std::printf("%s", build_timing_diagram(r).render().c_str());
+  return r.correct ? 0 : 1;
+}
+
+int cmd_transient(int argc, char** argv) {
+  SpiceReadConfig cfg;
+  cfg.state = (argc > 2 && std::atoi(argv[2]) == 0)
+                  ? MtjState::kParallel
+                  : MtjState::kAntiParallel;
+  const SpiceReadResult r = simulate_nondestructive_read(cfg);
+  std::printf("stored %s -> sensed %d, V(C1)=%s V_BO=%s margin %s, "
+              "decision at %s\n",
+              to_string(cfg.state).data(), r.value, format(r.v_c1).c_str(),
+              format(r.v_bo).c_str(), format(r.margin).c_str(),
+              format(r.decision_time).c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(
+        stderr,
+        "usage: sttram_cli "
+        "{margins|design|robustness|yield|tail|read|transient} [args]\n");
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  if (cmd == "margins") return cmd_margins(argc, argv);
+  if (cmd == "design") return cmd_design(argc, argv);
+  if (cmd == "robustness") return cmd_robustness(argc, argv);
+  if (cmd == "yield") return cmd_yield(argc, argv);
+  if (cmd == "tail") return cmd_tail(argc, argv);
+  if (cmd == "read") return cmd_read(argc, argv);
+  if (cmd == "transient") return cmd_transient(argc, argv);
+  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+  return 2;
+}

@@ -1,0 +1,62 @@
+// Example: array-level yield analysis under process variation.
+//
+// The scenario from the paper's introduction: a memory designer must
+// decide whether a shared-reference read survives the MTJ resistance
+// spread of a given process.  This example sweeps the barrier-thickness
+// variation, reports when the shared reference window (Eq. 2) collapses,
+// and shows the self-reference schemes' immunity.
+//
+// Usage: yield_analysis [sigma_angstrom]
+//   sigma_angstrom — oxide-barrier thickness sigma in angstroms
+//                    (default 0.08 A; the paper quotes +8 % resistance
+//                    per 0.1 A).
+#include <cstdio>
+#include <cstdlib>
+
+#include "sttram/common/format.hpp"
+#include "sttram/device/variation.hpp"
+#include "sttram/io/table.hpp"
+#include "sttram/sim/yield.hpp"
+
+using namespace sttram;
+
+int main(int argc, char** argv) {
+  const double sigma_angstrom = argc > 1 ? std::atof(argv[1]) : 0.08;
+  const double sigma_common = sigma_common_from_thickness(sigma_angstrom);
+  std::printf("barrier thickness sigma %.3f A -> lognormal resistance "
+              "sigma %.3f\n\n",
+              sigma_angstrom, sigma_common);
+
+  // Sweep the thickness sigma around the requested value.
+  TextTable t({"sigma_t [A]", "sigma_R", "ref window [mV]",
+               "conv fail", "destr fail", "nondes fail"});
+  for (const double st : {0.25 * sigma_angstrom, 0.5 * sigma_angstrom,
+                          sigma_angstrom, 1.5 * sigma_angstrom,
+                          2.0 * sigma_angstrom}) {
+    YieldConfig cfg;
+    cfg.geometry = {64, 64};  // 4 kb per point keeps the sweep quick
+    cfg.variation.sigma_common = sigma_common_from_thickness(st);
+    cfg.max_scatter_points = 1;
+    const YieldResult r = run_yield_experiment(cfg);
+    char a[16], b[16], w[16], f1[16], f2[16], f3[16];
+    std::snprintf(a, sizeof(a), "%.3f", st);
+    std::snprintf(b, sizeof(b), "%.3f", cfg.variation.sigma_common);
+    std::snprintf(w, sizeof(w), "%.1f",
+                  r.shared_reference_window.value() * 1e3);
+    std::snprintf(f1, sizeof(f1), "%.2f %%",
+                  r.conventional.failure_rate() * 100.0);
+    std::snprintf(f2, sizeof(f2), "%.2f %%",
+                  r.destructive.failure_rate() * 100.0);
+    std::snprintf(f3, sizeof(f3), "%.2f %%",
+                  r.nondestructive.failure_rate() * 100.0);
+    t.add_row({a, b, w, f1, f2, f3});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+
+  std::printf(
+      "Reading the table: once the shared-reference window goes negative\n"
+      "no single V_REF can serve the whole array (Eq. 2), and the\n"
+      "conventional failure rate climbs; the self-reference schemes keep\n"
+      "reading every bit because each cell is compared against itself.\n");
+  return 0;
+}

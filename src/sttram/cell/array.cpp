@@ -1,0 +1,104 @@
+#include "sttram/cell/array.hpp"
+
+#include <limits>
+
+#include "sttram/common/error.hpp"
+#include "sttram/stats/distributions.hpp"
+
+namespace sttram {
+
+MemoryArray::MemoryArray(ArrayGeometry geometry,
+                         const MtjVariationModel& variation,
+                         double sigma_access, std::uint64_t seed)
+    : geometry_(geometry) {
+  require(geometry.rows >= 1 && geometry.cols >= 1,
+          "MemoryArray: geometry must be non-empty");
+  require(sigma_access >= 0.0, "MemoryArray: sigma_access must be >= 0");
+  cells_.reserve(geometry.cell_count());
+  const Xoshiro256 master(seed);
+  const Ohm r_access_nominal(917.0);
+  for (std::size_t k = 0; k < geometry.cell_count(); ++k) {
+    Xoshiro256 stream = master.fork(k);
+    ArrayCell c;
+    c.params = variation.sample(stream);
+    c.r_access = Ohm(sample_lognormal_median(stream, r_access_nominal.value(),
+                                             sigma_access));
+    // Checkerboard initial data exercises both states everywhere.
+    const std::size_t row = k / geometry.cols;
+    const std::size_t col = k % geometry.cols;
+    c.state = from_bit(((row + col) % 2) == 1);
+    cells_.push_back(c);
+  }
+}
+
+std::size_t MemoryArray::index(std::size_t row, std::size_t col) const {
+  require(row < geometry_.rows && col < geometry_.cols,
+          "MemoryArray: cell coordinates out of range");
+  return row * geometry_.cols + col;
+}
+
+const ArrayCell& MemoryArray::cell(std::size_t row, std::size_t col) const {
+  return cells_[index(row, col)];
+}
+
+ArrayCell& MemoryArray::cell(std::size_t row, std::size_t col) {
+  return cells_[index(row, col)];
+}
+
+void MemoryArray::store(std::size_t row, std::size_t col, bool bit) {
+  cells_[index(row, col)].state = from_bit(bit);
+}
+
+bool MemoryArray::stored(std::size_t row, std::size_t col) const {
+  return to_bit(cells_[index(row, col)].state);
+}
+
+Ohm MemoryArray::mtj_resistance(std::size_t row, std::size_t col, MtjState s,
+                                Ampere i) const {
+  const ArrayCell& c = cells_[index(row, col)];
+  return LinearRiModel(c.params).resistance(s, i);
+}
+
+Ohm MemoryArray::path_resistance(std::size_t row, std::size_t col,
+                                 Ampere i) const {
+  const ArrayCell& c = cells_[index(row, col)];
+  return mtj_resistance(row, col, c.state, i) + c.r_access;
+}
+
+Volt MemoryArray::bitline_voltage(std::size_t row, std::size_t col,
+                                  Ampere i) const {
+  return i * path_resistance(row, col, i);
+}
+
+MemoryArray::ResistanceSpread MemoryArray::resistance_spread(Ampere i) const {
+  ResistanceSpread s;
+  s.min_low = s.min_high = Ohm(std::numeric_limits<double>::infinity());
+  s.max_low = s.max_high = Ohm(-std::numeric_limits<double>::infinity());
+  for (const ArrayCell& c : cells_) {
+    const LinearRiModel m(c.params);
+    const Ohm lo = m.resistance(MtjState::kParallel, i);
+    const Ohm hi = m.resistance(MtjState::kAntiParallel, i);
+    s.min_low = min(s.min_low, lo);
+    s.max_low = max(s.max_low, lo);
+    s.min_high = min(s.min_high, hi);
+    s.max_high = max(s.max_high, hi);
+  }
+  return s;
+}
+
+Volt MemoryArray::shared_reference_window(Ampere i) const {
+  Volt max_low(-std::numeric_limits<double>::infinity());
+  Volt min_high(std::numeric_limits<double>::infinity());
+  for (const ArrayCell& c : cells_) {
+    const LinearRiModel m(c.params);
+    const Volt v_low =
+        i * (m.resistance(MtjState::kParallel, i) + c.r_access);
+    const Volt v_high =
+        i * (m.resistance(MtjState::kAntiParallel, i) + c.r_access);
+    max_low = max(max_low, v_low);
+    min_high = min(min_high, v_high);
+  }
+  return min_high - max_low;
+}
+
+}  // namespace sttram

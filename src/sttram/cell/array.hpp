@@ -1,0 +1,86 @@
+// Memory array model: a grid of varied MTJ cells organized in bit lines.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sttram/cell/access_transistor.hpp"
+#include "sttram/cell/bitline.hpp"
+#include "sttram/common/units.hpp"
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/device/mtj_state.hpp"
+#include "sttram/device/ri_curve.hpp"
+#include "sttram/device/variation.hpp"
+
+namespace sttram {
+
+/// Geometry of an array.
+struct ArrayGeometry {
+  std::size_t rows = 128;  ///< cells per bit line (word lines)
+  std::size_t cols = 128;  ///< bit lines
+  [[nodiscard]] std::size_t cell_count() const { return rows * cols; }
+
+  /// The paper's 16-kb test chip: 128 x 128.
+  static ArrayGeometry test_chip_16kb() { return {128, 128}; }
+};
+
+/// One instantiated (process-varied) cell of the array.
+struct ArrayCell {
+  MtjParams params;               ///< sampled device parameters
+  MtjState state = MtjState::kParallel;
+  /// Access-transistor on-resistance sampled for this cell.
+  Ohm r_access{917.0};
+};
+
+/// A rows x cols array of independently sampled cells.  The array stores
+/// parameters (not live device objects) so a 16-kb instance stays small;
+/// resistances are evaluated through the calibrated linear R-I law.
+class MemoryArray {
+ public:
+  /// Samples every cell from `variation` using decorrelated streams from
+  /// `seed`; access-device resistance gets a lognormal factor with sigma
+  /// `sigma_access`.  Initial data is a checkerboard (alternating 0/1).
+  MemoryArray(ArrayGeometry geometry, const MtjVariationModel& variation,
+              double sigma_access, std::uint64_t seed);
+
+  [[nodiscard]] const ArrayGeometry& geometry() const { return geometry_; }
+  [[nodiscard]] const ArrayCell& cell(std::size_t row, std::size_t col) const;
+  [[nodiscard]] ArrayCell& cell(std::size_t row, std::size_t col);
+
+  /// Writes a data value (no electrical modeling; array-level state).
+  void store(std::size_t row, std::size_t col, bool bit);
+  [[nodiscard]] bool stored(std::size_t row, std::size_t col) const;
+
+  /// Resistance of the cell's MTJ in a given state at read current `i`.
+  [[nodiscard]] Ohm mtj_resistance(std::size_t row, std::size_t col,
+                                   MtjState s, Ampere i) const;
+
+  /// Series path resistance (MTJ in stored state + access device) at `i`.
+  [[nodiscard]] Ohm path_resistance(std::size_t row, std::size_t col,
+                                    Ampere i) const;
+
+  /// Bit-line voltage developed when the selected cell carries `i`.
+  [[nodiscard]] Volt bitline_voltage(std::size_t row, std::size_t col,
+                                     Ampere i) const;
+
+  /// Population statistics of R_low / R_high at a read current (used to
+  /// reason about shared-reference feasibility, Eq. (2)).
+  struct ResistanceSpread {
+    Ohm min_low{0.0}, max_low{0.0};
+    Ohm min_high{0.0}, max_high{0.0};
+  };
+  [[nodiscard]] ResistanceSpread resistance_spread(Ampere i) const;
+
+  /// The shared-reference window Max(V_BL,L) < V_REF < Min(V_BL,H) is
+  /// non-empty iff this returns a positive voltage (window width).
+  [[nodiscard]] Volt shared_reference_window(Ampere i) const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const;
+
+  ArrayGeometry geometry_;
+  std::vector<ArrayCell> cells_;
+};
+
+}  // namespace sttram

@@ -1,0 +1,64 @@
+#include "sttram/cell/bitline.hpp"
+
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+Bitline::Bitline(BitlineParams params) : params_(params) {
+  require(params.cells_per_bitline >= 1,
+          "Bitline: need at least one cell per bit line");
+  require(params.off_resistance.value() > 0.0,
+          "Bitline: off_resistance must be > 0");
+}
+
+Ohm Bitline::total_wire_resistance() const {
+  return params_.wire_resistance_per_cell *
+         static_cast<double>(params_.cells_per_bitline);
+}
+
+Farad Bitline::total_capacitance() const {
+  const auto n = static_cast<double>(params_.cells_per_bitline);
+  return (params_.wire_capacitance_per_cell +
+          params_.drain_capacitance_per_cell) *
+             n +
+         params_.extra_sense_capacitance;
+}
+
+Second Bitline::elmore_delay() const {
+  // Ladder of n segments, each r = R/n upstream of the capacitance at
+  // node k: delay = sum_k (k * r) * c = r*c * n(n+1)/2, plus the full wire
+  // resistance in front of the lumped far-end capacitance.
+  const auto n = static_cast<double>(params_.cells_per_bitline);
+  const Ohm r_seg = params_.wire_resistance_per_cell;
+  const Farad c_seg = params_.wire_capacitance_per_cell +
+                      params_.drain_capacitance_per_cell;
+  const double series_sum = n * (n + 1.0) / 2.0;
+  const Second ladder = Second(r_seg.value() * c_seg.value() * series_sum);
+  const Second far_end = Second(total_wire_resistance().value() *
+                                params_.extra_sense_capacitance.value());
+  return ladder + far_end;
+}
+
+Second Bitline::settling_time(Ohm source_resistance, double tolerance) const {
+  require(tolerance > 0.0 && tolerance < 1.0,
+          "settling_time: tolerance must be in (0, 1)");
+  const Second tau = Second(source_resistance.value() *
+                            total_capacitance().value()) +
+                     elmore_delay();
+  return tau * std::log(1.0 / tolerance);
+}
+
+Ampere Bitline::leakage_current(Volt v_bl) const {
+  const auto n_unselected =
+      static_cast<double>(params_.cells_per_bitline - 1);
+  return Ampere(v_bl.value() / params_.off_resistance.value() * n_unselected);
+}
+
+double Bitline::leakage_error(Ampere i_read, Volt v_bl) const {
+  require(i_read.value() > 0.0, "leakage_error: read current must be > 0");
+  return leakage_current(v_bl) / i_read;
+}
+
+}  // namespace sttram

@@ -1,0 +1,72 @@
+// Bit-line parasitics, Elmore delay, and unselected-cell leakage.
+//
+// Two scheme-level effects live here:
+//  * the destructive self-reference scheme hangs storage capacitors on
+//    the bit line through its switch transistors, which lengthens the
+//    bit-line Elmore delay; the nondestructive scheme's voltage divider
+//    is high-impedance (~tens of MOhm) and does not (paper §V);
+//  * the 127 unselected cells on the same bit line leak, shifting the
+//    developed bit-line voltage slightly.
+#pragma once
+
+#include <cstddef>
+
+#include "sttram/common/units.hpp"
+
+namespace sttram {
+
+/// Distributed-RC description of one bit line.
+struct BitlineParams {
+  std::size_t cells_per_bitline = 128;  ///< the paper's array: 128 bits/BL
+  Ohm wire_resistance_per_cell{2.0};    ///< metal R per cell pitch
+  Farad wire_capacitance_per_cell{1.0e-15};   ///< metal + junction C per pitch
+  Farad drain_capacitance_per_cell{0.5e-15};  ///< unselected drain load
+  /// Off-state (subthreshold) conductance of one unselected access
+  /// transistor, expressed as an equivalent resistance to ground.
+  Ohm off_resistance{50e6};
+  /// Extra lumped capacitance attached at the sense end (storage caps of
+  /// the destructive scheme when their switches are on; zero for the
+  /// nondestructive divider).
+  Farad extra_sense_capacitance{0.0};
+};
+
+/// Analytic bit-line model.
+class Bitline {
+ public:
+  explicit Bitline(BitlineParams params);
+
+  [[nodiscard]] const BitlineParams& params() const { return params_; }
+
+  /// Total distributed wire resistance.
+  [[nodiscard]] Ohm total_wire_resistance() const;
+
+  /// Total capacitance hanging on the line (wire + drains + extra).
+  [[nodiscard]] Farad total_capacitance() const;
+
+  /// Elmore delay from the driver end to the sense end, treating the line
+  /// as `cells_per_bitline` RC segments plus the lumped extra capacitance
+  /// at the far end.  This is the quantity the paper argues grows for the
+  /// destructive scheme (extra C) but not for the divider.
+  [[nodiscard]] Second elmore_delay() const;
+
+  /// Time for the sensed voltage to settle within `tolerance` (relative)
+  /// of its final value, approximating the line response as a single pole
+  /// at the Elmore delay plus the source resistance driving the total C:
+  /// tau = R_src * C_total + elmore, t = tau * ln(1/tolerance).
+  [[nodiscard]] Second settling_time(Ohm source_resistance,
+                                     double tolerance) const;
+
+  /// Aggregate leakage current drawn by the unselected cells when the bit
+  /// line sits at `v_bl` (one cell is selected; the rest leak).
+  [[nodiscard]] Ampere leakage_current(Volt v_bl) const;
+
+  /// Leakage-induced relative error on the developed bit-line voltage for
+  /// a read current `i_read`: leakage diverts part of the forced current
+  /// away from the selected cell.
+  [[nodiscard]] double leakage_error(Ampere i_read, Volt v_bl) const;
+
+ private:
+  BitlineParams params_;
+};
+
+}  // namespace sttram

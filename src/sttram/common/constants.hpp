@@ -1,0 +1,24 @@
+// Physical constants used by the device models.
+#pragma once
+
+namespace sttram::constants {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Reduced Planck constant [J*s].
+inline constexpr double kHBar = 1.054571817e-34;
+
+/// Bohr magneton [J/T].
+inline constexpr double kBohrMagneton = 9.2740100783e-24;
+
+/// Default ambient temperature for all models [K].
+inline constexpr double kRoomTemperature = 300.0;
+
+/// kB*T at room temperature [J].
+inline constexpr double kThermalEnergy300K = kBoltzmann * kRoomTemperature;
+
+}  // namespace sttram::constants

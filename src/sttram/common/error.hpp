@@ -1,0 +1,38 @@
+// Library error types and precondition checks.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace sttram {
+
+/// Base class for all errors raised by this library.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// A caller violated a documented precondition (bad parameter, bad state).
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// A numeric routine failed to converge or produced no solution.
+class NumericError : public Error {
+ public:
+  explicit NumericError(const std::string& what) : Error(what) {}
+};
+
+/// Circuit simulator errors (singular matrix, non-convergence, bad netlist).
+class CircuitError : public Error {
+ public:
+  explicit CircuitError(const std::string& what) : Error(what) {}
+};
+
+/// Throws InvalidArgument with `message` unless `condition` holds.
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw InvalidArgument(message);
+}
+
+}  // namespace sttram

@@ -1,0 +1,210 @@
+// Dimension-checked SI quantities.
+//
+// Every physical value in this library is carried as a Quantity with its
+// SI dimension encoded in the type (meter, kilogram, second, ampere
+// exponents).  V = I*R, Q = C*V, E = P*t and friends therefore type-check
+// at compile time; mixing a Volt into an Ohm slot is a build error, not a
+// silent unit bug.  Storage is always a double in base SI units.
+#pragma once
+
+#include <cmath>
+#include <compare>
+#include <ostream>
+
+namespace sttram {
+
+/// A physical quantity with dimension m^M * kg^K * s^S * A^A.
+/// The numeric value is stored in base SI units (no scaling).
+template <int M, int K, int S, int A>
+class Quantity {
+ public:
+  constexpr Quantity() = default;
+  constexpr explicit Quantity(double v) : value_(v) {}
+
+  /// Raw value in base SI units.
+  [[nodiscard]] constexpr double value() const { return value_; }
+
+  constexpr Quantity operator-() const { return Quantity(-value_); }
+  constexpr Quantity& operator+=(Quantity o) {
+    value_ += o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator-=(Quantity o) {
+    value_ -= o.value_;
+    return *this;
+  }
+  constexpr Quantity& operator*=(double s) {
+    value_ *= s;
+    return *this;
+  }
+  constexpr Quantity& operator/=(double s) {
+    value_ /= s;
+    return *this;
+  }
+
+  friend constexpr Quantity operator+(Quantity a, Quantity b) {
+    return Quantity(a.value_ + b.value_);
+  }
+  friend constexpr Quantity operator-(Quantity a, Quantity b) {
+    return Quantity(a.value_ - b.value_);
+  }
+  friend constexpr Quantity operator*(Quantity a, double s) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator*(double s, Quantity a) {
+    return Quantity(a.value_ * s);
+  }
+  friend constexpr Quantity operator/(Quantity a, double s) {
+    return Quantity(a.value_ / s);
+  }
+  /// Ratio of two same-dimension quantities is a plain number.
+  friend constexpr double operator/(Quantity a, Quantity b) {
+    return a.value_ / b.value_;
+  }
+  friend constexpr auto operator<=>(Quantity a, Quantity b) {
+    return a.value_ <=> b.value_;
+  }
+  friend constexpr bool operator==(Quantity a, Quantity b) = default;
+
+  friend std::ostream& operator<<(std::ostream& os, Quantity q) {
+    return os << q.value_;
+  }
+
+ private:
+  double value_ = 0.0;
+};
+
+/// Product of two quantities adds dimension exponents.
+template <int M1, int K1, int S1, int A1, int M2, int K2, int S2, int A2>
+constexpr auto operator*(Quantity<M1, K1, S1, A1> a,
+                         Quantity<M2, K2, S2, A2> b) {
+  return Quantity<M1 + M2, K1 + K2, S1 + S2, A1 + A2>(a.value() * b.value());
+}
+
+/// Quotient of two quantities subtracts dimension exponents.
+template <int M1, int K1, int S1, int A1, int M2, int K2, int S2, int A2>
+  requires(M1 != M2 || K1 != K2 || S1 != S2 || A1 != A2)
+constexpr auto operator/(Quantity<M1, K1, S1, A1> a,
+                         Quantity<M2, K2, S2, A2> b) {
+  return Quantity<M1 - M2, K1 - K2, S1 - S2, A1 - A2>(a.value() / b.value());
+}
+
+/// number / quantity inverts the dimension.
+template <int M, int K, int S, int A>
+constexpr auto operator/(double s, Quantity<M, K, S, A> q) {
+  return Quantity<-M, -K, -S, -A>(s / q.value());
+}
+
+// Common electrical dimensions.               m   kg  s   A
+using Dimensionless = Quantity<0, 0, 0, 0>;
+using Second = Quantity<0, 0, 1, 0>;
+using Ampere = Quantity<0, 0, 0, 1>;
+using Coulomb = Quantity<0, 0, 1, 1>;  // A*s
+using Volt = Quantity<2, 1, -3, -1>;
+using Ohm = Quantity<2, 1, -3, -2>;
+using Siemens = Quantity<-2, -1, 3, 2>;
+using Farad = Quantity<-2, -1, 4, 2>;
+using Joule = Quantity<2, 1, -2, 0>;
+using Watt = Quantity<2, 1, -3, 0>;
+using Hertz = Quantity<0, 0, -1, 0>;
+using Kelvin1 = Quantity<0, 0, 0, 0>;  // temperature carried as plain double
+
+/// abs for quantities.
+template <int M, int K, int S, int A>
+constexpr Quantity<M, K, S, A> abs(Quantity<M, K, S, A> q) {
+  return Quantity<M, K, S, A>(std::fabs(q.value()));
+}
+
+/// min/max for quantities.
+template <int M, int K, int S, int A>
+constexpr Quantity<M, K, S, A> min(Quantity<M, K, S, A> a,
+                                   Quantity<M, K, S, A> b) {
+  return a < b ? a : b;
+}
+template <int M, int K, int S, int A>
+constexpr Quantity<M, K, S, A> max(Quantity<M, K, S, A> a,
+                                   Quantity<M, K, S, A> b) {
+  return a < b ? b : a;
+}
+
+namespace literals {
+
+// Resistance.
+constexpr Ohm operator""_Ohm(long double v) {
+  return Ohm(static_cast<double>(v));
+}
+constexpr Ohm operator""_kOhm(long double v) {
+  return Ohm(static_cast<double>(v) * 1e3);
+}
+constexpr Ohm operator""_MOhm(long double v) {
+  return Ohm(static_cast<double>(v) * 1e6);
+}
+// Current.
+constexpr Ampere operator""_A(long double v) {
+  return Ampere(static_cast<double>(v));
+}
+constexpr Ampere operator""_mA(long double v) {
+  return Ampere(static_cast<double>(v) * 1e-3);
+}
+constexpr Ampere operator""_uA(long double v) {
+  return Ampere(static_cast<double>(v) * 1e-6);
+}
+constexpr Ampere operator""_nA(long double v) {
+  return Ampere(static_cast<double>(v) * 1e-9);
+}
+// Voltage.
+constexpr Volt operator""_V(long double v) {
+  return Volt(static_cast<double>(v));
+}
+constexpr Volt operator""_mV(long double v) {
+  return Volt(static_cast<double>(v) * 1e-3);
+}
+constexpr Volt operator""_uV(long double v) {
+  return Volt(static_cast<double>(v) * 1e-6);
+}
+// Time.
+constexpr Second operator""_s(long double v) {
+  return Second(static_cast<double>(v));
+}
+constexpr Second operator""_ms(long double v) {
+  return Second(static_cast<double>(v) * 1e-3);
+}
+constexpr Second operator""_us(long double v) {
+  return Second(static_cast<double>(v) * 1e-6);
+}
+constexpr Second operator""_ns(long double v) {
+  return Second(static_cast<double>(v) * 1e-9);
+}
+constexpr Second operator""_ps(long double v) {
+  return Second(static_cast<double>(v) * 1e-12);
+}
+// Capacitance.
+constexpr Farad operator""_F(long double v) {
+  return Farad(static_cast<double>(v));
+}
+constexpr Farad operator""_pF(long double v) {
+  return Farad(static_cast<double>(v) * 1e-12);
+}
+constexpr Farad operator""_fF(long double v) {
+  return Farad(static_cast<double>(v) * 1e-15);
+}
+// Energy / power.
+constexpr Joule operator""_J(long double v) {
+  return Joule(static_cast<double>(v));
+}
+constexpr Joule operator""_pJ(long double v) {
+  return Joule(static_cast<double>(v) * 1e-12);
+}
+constexpr Joule operator""_fJ(long double v) {
+  return Joule(static_cast<double>(v) * 1e-15);
+}
+constexpr Watt operator""_W(long double v) {
+  return Watt(static_cast<double>(v));
+}
+constexpr Watt operator""_uW(long double v) {
+  return Watt(static_cast<double>(v) * 1e-6);
+}
+
+}  // namespace literals
+
+}  // namespace sttram

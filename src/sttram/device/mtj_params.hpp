@@ -1,0 +1,60 @@
+// Compact-model parameters of one MgO MTJ device.
+#pragma once
+
+#include "sttram/common/units.hpp"
+
+namespace sttram {
+
+/// Parameters of one MTJ instance.  Defaults are the values reconstructed
+/// from the paper's Table I / Fig. 2 (see DESIGN.md §2): an MgO junction
+/// of 90 nm x 180 nm measured with 4 ns read pulses.
+struct MtjParams {
+  /// Low-state (parallel) resistance extrapolated to zero read current.
+  Ohm r_low0{1220.0};
+  /// High-state (anti-parallel) resistance extrapolated to zero current.
+  Ohm r_high0{2500.0};
+  /// Low-state resistance droop between zero current and `i_droop_ref`
+  /// (the paper's dR_Lmax = 10 Ohm at I_max).
+  Ohm droop_low{10.0};
+  /// High-state droop over the same range (dR_Hmax = 600 Ohm at I_max).
+  /// The much steeper high-state roll-off is the physical effect the
+  /// nondestructive scheme exploits.
+  Ohm droop_high{600.0};
+  /// Read current at which the droops above are specified (200 uA, which
+  /// the paper sets to 40 % of the switching current).
+  Ampere i_droop_ref{200e-6};
+  /// Critical switching current at the reference write pulse width.
+  Ampere i_critical{500e-6};
+  /// Reference write pulse width for `i_critical` (4 ns in the paper).
+  Second t_write_ref{4e-9};
+  /// Thermal stability factor Delta = E_barrier / kT at 300 K.
+  double thermal_stability = 40.0;
+
+  /// Tunneling magnetoresistance ratio at zero read current:
+  /// TMR = (R_H - R_L) / R_L.
+  [[nodiscard]] double tmr0() const {
+    return (r_high0 - r_low0) / r_low0;
+  }
+
+  /// Returns a copy with both resistance states (and their droops) scaled
+  /// by `common` — the effect of barrier-thickness variation, which moves
+  /// the whole junction resistance multiplicatively — and the high-state
+  /// excess (R_H - R_L and its droop) additionally scaled by `tmr_scale`,
+  /// modeling independent TMR / interface-quality variation.
+  [[nodiscard]] MtjParams scaled(double common, double tmr_scale) const {
+    MtjParams p = *this;
+    const Ohm excess0 = (r_high0 - r_low0) * tmr_scale;
+    const Ohm excess_droop = (droop_high - droop_low) * tmr_scale;
+    p.r_low0 = r_low0 * common;
+    p.r_high0 = (r_low0 + excess0) * common;
+    p.droop_low = droop_low * common;
+    p.droop_high = (droop_low + excess_droop) * common;
+    return p;
+  }
+
+  /// The paper-calibrated typical device (same as the defaults, spelled
+  /// out for readability at call sites).
+  static MtjParams paper_calibrated() { return MtjParams{}; }
+};
+
+}  // namespace sttram

@@ -1,0 +1,36 @@
+// MTJ magnetization state and logical-value mapping.
+#pragma once
+
+#include <string_view>
+
+namespace sttram {
+
+/// Magnetization configuration of the free layer relative to the
+/// reference layer.  Parallel is the low-resistance state and encodes
+/// logical 0; anti-parallel is high resistance and encodes logical 1
+/// (the convention used throughout the paper).
+enum class MtjState {
+  kParallel,      ///< low resistance, logical 0
+  kAntiParallel,  ///< high resistance, logical 1
+};
+
+/// Logical bit stored by a state.
+constexpr bool to_bit(MtjState s) { return s == MtjState::kAntiParallel; }
+
+/// State encoding a logical bit.
+constexpr MtjState from_bit(bool bit) {
+  return bit ? MtjState::kAntiParallel : MtjState::kParallel;
+}
+
+/// The opposite magnetization state.
+constexpr MtjState flipped(MtjState s) {
+  return s == MtjState::kParallel ? MtjState::kAntiParallel
+                                  : MtjState::kParallel;
+}
+
+/// Human-readable name ("P"/"AP").
+constexpr std::string_view to_string(MtjState s) {
+  return s == MtjState::kParallel ? "P" : "AP";
+}
+
+}  // namespace sttram

@@ -1,0 +1,92 @@
+#include "sttram/device/switching.hpp"
+
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+#include "sttram/common/numeric.hpp"
+
+namespace sttram {
+namespace {
+
+// Precession-limited time constant of the overdrive term in the composite
+// critical-current law (see critical_current()).
+constexpr double kPrecessionTau = 1e-9;  // [s]
+
+}  // namespace
+
+SwitchingModel::SwitchingModel(const MtjParams& params, Second attempt_time)
+    : tau0_(attempt_time),
+      delta_(params.thermal_stability),
+      t_ref_(params.t_write_ref) {
+  require(params.i_critical.value() > 0.0,
+          "SwitchingModel: i_critical must be > 0");
+  require(params.t_write_ref.value() > 0.0,
+          "SwitchingModel: t_write_ref must be > 0");
+  require(attempt_time.value() > 0.0,
+          "SwitchingModel: attempt_time must be > 0");
+  require(params.thermal_stability > 1.0,
+          "SwitchingModel: thermal_stability must be > 1");
+  // Composite law: I_c(tp) = I_c0 * (1 - ln(max(tp,tau0)/tau0)/Delta
+  //                                  + tau_p/tp).
+  // Normalize I_c0 so I_c(t_write_ref) equals the calibrated value.
+  const double tp = t_ref_.value();
+  const double thermal =
+      1.0 - std::log(std::max(tp, tau0_.value()) / tau0_.value()) / delta_;
+  const double factor = thermal + kPrecessionTau / tp;
+  require(factor > 0.0, "SwitchingModel: reference pulse too long for Delta");
+  i_c0_ = Ampere(params.i_critical.value() / factor);
+}
+
+Ampere SwitchingModel::critical_current(Second tp) const {
+  require(tp.value() > 0.0, "critical_current: pulse width must be > 0");
+  const double t = tp.value();
+  const double thermal =
+      1.0 - std::log(std::max(t, tau0_.value()) / tau0_.value()) / delta_;
+  const double factor = thermal + kPrecessionTau / t;
+  // Very long pulses: thermal activation alone eventually switches the
+  // cell, but the deterministic critical current never drops below a
+  // small positive floor in this model.
+  return Ampere(i_c0_.value() * std::max(factor, 1e-3));
+}
+
+double SwitchingModel::switching_probability(Ampere i, Second tp) const {
+  require(tp.value() >= 0.0, "switching_probability: tp must be >= 0");
+  const double i_mag = std::fabs(i.value());
+  if (tp.value() == 0.0 || i_mag == 0.0) return 0.0;
+  const double overdrive = i_mag / i_c0_.value();
+  // Continuous switching rate: thermally activated below I_c0, plus a
+  // precessional term above it.  Continuous and monotone in current.
+  const double thermal_rate =
+      std::exp(-delta_ * std::max(0.0, 1.0 - overdrive)) / tau0_.value();
+  const double precession_rate =
+      std::max(0.0, overdrive - 1.0) / kPrecessionTau;
+  const double rate = thermal_rate + precession_rate;
+  return -std::expm1(-tp.value() * rate);
+}
+
+double SwitchingModel::read_disturb_probability(Ampere i,
+                                                Second duration) const {
+  return switching_probability(i, duration);
+}
+
+bool SwitchingModel::attempt_switch(Xoshiro256& rng, Ampere i,
+                                    Second tp) const {
+  return rng.next_double() < switching_probability(i, tp);
+}
+
+Ampere SwitchingModel::max_nondisturbing_current(Second duration,
+                                                 double budget) const {
+  require(budget > 0.0 && budget < 1.0,
+          "max_nondisturbing_current: budget must be in (0, 1)");
+  require(duration.value() > 0.0,
+          "max_nondisturbing_current: duration must be > 0");
+  const auto excess = [&](double i) {
+    return switching_probability(Ampere(i), duration) - budget;
+  };
+  const double hi = i_c0_.value() * 2.0;
+  if (excess(0.0) >= 0.0) return Ampere(0.0);
+  if (excess(hi) <= 0.0) return Ampere(hi);
+  return Ampere(brent(excess, 0.0, hi, 1e-15 * hi + 1e-18, 300));
+}
+
+}  // namespace sttram

@@ -1,0 +1,65 @@
+// Spin-transfer-torque switching dynamics.
+//
+// Models the current/pulse-width dependence of MTJ switching in the two
+// regimes relevant here: the precessional regime used by the 4 ns write
+// pulses, and the thermally-activated regime that governs read disturb at
+// the small read currents (the paper sets I_max to 4 % of the switching
+// current precisely so reads never disturb the cell).
+#pragma once
+
+#include "sttram/common/units.hpp"
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/stats/rng.hpp"
+
+namespace sttram {
+
+/// STT switching model parameterized from MtjParams.
+class SwitchingModel {
+ public:
+  /// `attempt_time` is the thermal attempt period tau_0 (~1 ns).
+  explicit SwitchingModel(const MtjParams& params,
+                          Second attempt_time = Second(1e-9));
+
+  /// Critical current for deterministic switching with a pulse of width
+  /// `tp`.  Short pulses (precessional regime) need extra overdrive
+  /// ~ 1/tp; long pulses (thermal activation) switch below I_c0 by
+  /// ln(tp/tau0)/Delta.  Normalized so i_critical(t_write_ref) equals the
+  /// calibrated value.
+  [[nodiscard]] Ampere critical_current(Second tp) const;
+
+  /// Zero-temperature intrinsic critical current I_c0.
+  [[nodiscard]] Ampere intrinsic_critical_current() const { return i_c0_; }
+
+  /// Probability that a pulse of amplitude |i| and width tp switches the
+  /// free layer.  Sub-critical currents switch with the thermally
+  /// activated rate 1 - exp(-tp / tau(i)),
+  /// tau(i) = tau0 * exp(Delta * (1 - |i|/I_c0));
+  /// supercritical currents switch once tp exceeds the precessional
+  /// incubation delay.
+  [[nodiscard]] double switching_probability(Ampere i, Second tp) const;
+
+  /// Read-disturb probability: probability that a read at current `i`
+  /// held for `duration` flips the cell.  Same physics as
+  /// switching_probability; provided as a named operation because the
+  /// schemes budget it separately.
+  [[nodiscard]] double read_disturb_probability(Ampere i,
+                                                Second duration) const;
+
+  /// Draws a switching outcome for a pulse (Bernoulli with
+  /// switching_probability).
+  [[nodiscard]] bool attempt_switch(Xoshiro256& rng, Ampere i,
+                                    Second tp) const;
+
+  /// Largest read current whose disturb probability over `duration` stays
+  /// below `budget` (found by bisection; this is the paper's I_max).
+  [[nodiscard]] Ampere max_nondisturbing_current(Second duration,
+                                                 double budget) const;
+
+ private:
+  Ampere i_c0_;         // intrinsic (zero-temperature) critical current
+  Second tau0_;         // attempt time
+  double delta_;        // thermal stability factor
+  Second t_ref_;        // pulse width at which i_critical was specified
+};
+
+}  // namespace sttram

@@ -1,0 +1,137 @@
+#include "sttram/io/ascii_plot.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+AsciiPlot::AsciiPlot(std::string title, std::string x_label,
+                     std::string y_label, int width, int height)
+    : title_(std::move(title)),
+      x_label_(std::move(x_label)),
+      y_label_(std::move(y_label)),
+      width_(width),
+      height_(height) {
+  require(width >= 16 && height >= 6, "AsciiPlot: grid too small");
+}
+
+void AsciiPlot::add_series(PlotSeries series) {
+  require(series.xs.size() == series.ys.size(),
+          "AsciiPlot: series xs/ys size mismatch");
+  series_.push_back(std::move(series));
+}
+
+void AsciiPlot::add_hline(double y) { hlines_.push_back(y); }
+void AsciiPlot::add_vline(double x) { vlines_.push_back(x); }
+
+std::string AsciiPlot::render() const {
+  double x_min = std::numeric_limits<double>::infinity();
+  double x_max = -x_min;
+  double y_min = x_min;
+  double y_max = -x_min;
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      x_min = std::min(x_min, s.xs[i]);
+      x_max = std::max(x_max, s.xs[i]);
+      y_min = std::min(y_min, s.ys[i]);
+      y_max = std::max(y_max, s.ys[i]);
+    }
+  }
+  for (const double y : hlines_) {
+    y_min = std::min(y_min, y);
+    y_max = std::max(y_max, y);
+  }
+  for (const double x : vlines_) {
+    x_min = std::min(x_min, x);
+    x_max = std::max(x_max, x);
+  }
+  if (!std::isfinite(x_min) || !std::isfinite(y_min)) {
+    return title_ + "\n  (no data)\n";
+  }
+  if (x_max == x_min) x_max = x_min + 1.0;
+  if (y_max == y_min) y_max = y_min + 1.0;
+  // A little headroom so extreme points do not sit on the frame.
+  const double y_pad = 0.05 * (y_max - y_min);
+  y_min -= y_pad;
+  y_max += y_pad;
+
+  std::vector<std::string> grid(
+      static_cast<std::size_t>(height_),
+      std::string(static_cast<std::size_t>(width_), ' '));
+  const auto col_of = [&](double x) {
+    return static_cast<int>(std::lround((x - x_min) / (x_max - x_min) *
+                                        (width_ - 1)));
+  };
+  const auto row_of = [&](double y) {
+    return (height_ - 1) - static_cast<int>(std::lround(
+                               (y - y_min) / (y_max - y_min) * (height_ - 1)));
+  };
+  for (const double y : hlines_) {
+    const int r = row_of(y);
+    if (r >= 0 && r < height_) {
+      for (int c = 0; c < width_; ++c) {
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '-';
+      }
+    }
+  }
+  for (const double x : vlines_) {
+    const int c = col_of(x);
+    if (c >= 0 && c < width_) {
+      for (int r = 0; r < height_; ++r) {
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] = '|';
+      }
+    }
+  }
+  for (const auto& s : series_) {
+    for (std::size_t i = 0; i < s.xs.size(); ++i) {
+      if (!std::isfinite(s.xs[i]) || !std::isfinite(s.ys[i])) continue;
+      const int c = col_of(s.xs[i]);
+      const int r = row_of(s.ys[i]);
+      if (c >= 0 && c < width_ && r >= 0 && r < height_) {
+        grid[static_cast<std::size_t>(r)][static_cast<std::size_t>(c)] =
+            s.glyph;
+      }
+    }
+  }
+
+  std::ostringstream os;
+  os << title_ << '\n';
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%10.4g", y_max);
+  os << buf << " +" << std::string(static_cast<std::size_t>(width_), '-')
+     << "+\n";
+  for (int r = 0; r < height_; ++r) {
+    if (r == height_ / 2 && !y_label_.empty()) {
+      std::string lbl = y_label_.substr(0, 10);
+      os << std::string(10 - lbl.size(), ' ') << lbl;
+    } else {
+      os << std::string(10, ' ');
+    }
+    os << " |" << grid[static_cast<std::size_t>(r)] << "|\n";
+  }
+  std::snprintf(buf, sizeof(buf), "%10.4g", y_min);
+  os << buf << " +" << std::string(static_cast<std::size_t>(width_), '-')
+     << "+\n";
+  char lo[32], hi[32];
+  std::snprintf(lo, sizeof(lo), "%-.4g", x_min);
+  std::snprintf(hi, sizeof(hi), "%.4g", x_max);
+  const std::string lo_s(lo), hi_s(hi);
+  std::string axis = std::string(12, ' ') + lo_s;
+  const std::size_t target =
+      12 + static_cast<std::size_t>(width_) - hi_s.size();
+  if (axis.size() < target) axis += std::string(target - axis.size(), ' ');
+  axis += hi_s;
+  os << axis << "   [" << x_label_ << "]\n";
+  for (const auto& s : series_) {
+    os << "    " << s.glyph << " = " << s.label << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace sttram

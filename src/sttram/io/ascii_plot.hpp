@@ -1,0 +1,44 @@
+// Character-grid line/scatter plots so every bench can render its figure
+// directly into the terminal / log file.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace sttram {
+
+/// One plotted series: points plus the glyph used to draw them.
+struct PlotSeries {
+  std::string label;
+  char glyph = '*';
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+/// Renders one or more series into an ASCII grid with axis annotations.
+class AsciiPlot {
+ public:
+  AsciiPlot(std::string title, std::string x_label, std::string y_label,
+            int width = 72, int height = 22);
+
+  void add_series(PlotSeries series);
+
+  /// Adds a horizontal reference line at `y` drawn with '-'.
+  void add_hline(double y);
+  /// Adds a vertical reference line at `x` drawn with '|'.
+  void add_vline(double x);
+
+  [[nodiscard]] std::string render() const;
+
+ private:
+  std::string title_;
+  std::string x_label_;
+  std::string y_label_;
+  int width_;
+  int height_;
+  std::vector<PlotSeries> series_;
+  std::vector<double> hlines_;
+  std::vector<double> vlines_;
+};
+
+}  // namespace sttram

@@ -1,0 +1,178 @@
+#include "sttram/io/json.hpp"
+
+#include <cmath>
+#include <cstdio>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+Json Json::boolean(bool b) {
+  Json j;
+  j.value_ = b;
+  return j;
+}
+
+Json Json::number(double v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::integer(std::int64_t v) {
+  Json j;
+  j.value_ = v;
+  return j;
+}
+
+Json Json::string(std::string s) {
+  Json j;
+  j.value_ = std::move(s);
+  return j;
+}
+
+Json Json::array() {
+  Json j;
+  j.value_ = Array{};
+  return j;
+}
+
+Json Json::object() {
+  Json j;
+  j.value_ = Object{};
+  return j;
+}
+
+bool Json::is_array() const {
+  return std::holds_alternative<Array>(value_);
+}
+
+bool Json::is_object() const {
+  return std::holds_alternative<Object>(value_);
+}
+
+std::size_t Json::size() const {
+  if (is_array()) return std::get<Array>(value_).size();
+  if (is_object()) return std::get<Object>(value_).size();
+  return 0;
+}
+
+Json& Json::push_back(Json v) {
+  require(is_array(), "Json::push_back: not an array");
+  std::get<Array>(value_).push_back(std::move(v));
+  return *this;
+}
+
+Json& Json::set(const std::string& key, Json v) {
+  require(is_object(), "Json::set: not an object");
+  std::get<Object>(value_)[key] = std::move(v);
+  return *this;
+}
+
+void Json::emit_string(std::string& out, const std::string& s) {
+  out += '"';
+  for (const char ch : s) {
+    switch (ch) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(ch) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(ch));
+          out += buf;
+        } else {
+          out += ch;
+        }
+    }
+  }
+  out += '"';
+}
+
+void Json::emit(std::string& out, int indent, int depth) const {
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   (static_cast<std::size_t>(depth) + 1),
+                               ' ')
+                 : "";
+  const std::string close_pad =
+      indent > 0 ? std::string(static_cast<std::size_t>(indent) *
+                                   static_cast<std::size_t>(depth),
+                               ' ')
+                 : "";
+  const char* nl = indent > 0 ? "\n" : "";
+  if (std::holds_alternative<std::nullptr_t>(value_)) {
+    out += "null";
+  } else if (std::holds_alternative<bool>(value_)) {
+    out += std::get<bool>(value_) ? "true" : "false";
+  } else if (std::holds_alternative<double>(value_)) {
+    const double v = std::get<double>(value_);
+    if (!std::isfinite(v)) {
+      out += "null";  // JSON has no Inf/NaN
+    } else {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", v);
+      out += buf;
+    }
+  } else if (std::holds_alternative<std::int64_t>(value_)) {
+    out += std::to_string(std::get<std::int64_t>(value_));
+  } else if (std::holds_alternative<std::string>(value_)) {
+    emit_string(out, std::get<std::string>(value_));
+  } else if (is_array()) {
+    const Array& arr = std::get<Array>(value_);
+    if (arr.empty()) {
+      out += "[]";
+      return;
+    }
+    out += '[';
+    out += nl;
+    for (std::size_t i = 0; i < arr.size(); ++i) {
+      out += pad;
+      arr[i].emit(out, indent, depth + 1);
+      if (i + 1 < arr.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += ']';
+  } else {
+    const Object& obj = std::get<Object>(value_);
+    if (obj.empty()) {
+      out += "{}";
+      return;
+    }
+    out += '{';
+    out += nl;
+    std::size_t i = 0;
+    for (const auto& [key, val] : obj) {
+      out += pad;
+      emit_string(out, key);
+      out += indent > 0 ? ": " : ":";
+      val.emit(out, indent, depth + 1);
+      if (++i < obj.size()) out += ',';
+      out += nl;
+    }
+    out += close_pad;
+    out += '}';
+  }
+}
+
+std::string Json::dump(int indent) const {
+  std::string out;
+  emit(out, indent, 0);
+  return out;
+}
+
+}  // namespace sttram

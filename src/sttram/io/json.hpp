@@ -1,0 +1,51 @@
+// Minimal JSON value builder + emitter, for exporting experiment
+// results to downstream tooling (plotting scripts, dashboards).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace sttram {
+
+/// A JSON value (null, bool, number, string, array, object).  Build with
+/// the static factories and the array/object helpers; emit with dump().
+class Json {
+ public:
+  Json() : value_(nullptr) {}
+
+  static Json null() { return Json(); }
+  static Json boolean(bool b);
+  static Json number(double v);
+  static Json integer(std::int64_t v);
+  static Json string(std::string s);
+  static Json array();
+  static Json object();
+
+  /// Appends to an array (throws unless this is an array).
+  Json& push_back(Json v);
+  /// Sets an object key (throws unless this is an object).
+  Json& set(const std::string& key, Json v);
+
+  [[nodiscard]] bool is_array() const;
+  [[nodiscard]] bool is_object() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Serializes; `indent` > 0 pretty-prints with that many spaces.
+  [[nodiscard]] std::string dump(int indent = 0) const;
+
+ private:
+  using Array = std::vector<Json>;
+  using Object = std::map<std::string, Json>;
+  std::variant<std::nullptr_t, bool, double, std::int64_t, std::string,
+               Array, Object>
+      value_;
+
+  void emit(std::string& out, int indent, int depth) const;
+  static void emit_string(std::string& out, const std::string& s);
+};
+
+}  // namespace sttram

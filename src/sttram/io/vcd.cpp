@@ -1,0 +1,106 @@
+#include "sttram/io/vcd.hpp"
+
+#include <cmath>
+#include <limits>
+#include <cstdio>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+namespace {
+
+/// VCD identifier codes: printable ASCII 33..126, multi-char as needed.
+std::string id_code(std::size_t index) {
+  std::string code;
+  do {
+    code += static_cast<char>(33 + index % 94);
+    index /= 94;
+  } while (index > 0);
+  return code;
+}
+
+/// Identifiers in VCD must not contain whitespace; replace for safety.
+std::string sanitize(const std::string& name) {
+  std::string out = name;
+  for (char& ch : out) {
+    if (ch == ' ' || ch == '\t') ch = '_';
+  }
+  return out;
+}
+
+}  // namespace
+
+VcdWriter::VcdWriter(std::string module_name, double timescale_fs)
+    : module_(std::move(module_name)), timescale_fs_(timescale_fs) {
+  require(timescale_fs > 0.0, "VcdWriter: timescale must be > 0");
+  require(!module_.empty(), "VcdWriter: module name required");
+}
+
+void VcdWriter::write(std::ostream& out, const std::vector<double>& times,
+                      const std::vector<VcdRealSignal>& reals,
+                      const std::vector<VcdBitSignal>& bits) const {
+  require(!times.empty(), "VcdWriter: no time samples");
+  for (std::size_t i = 1; i < times.size(); ++i) {
+    require(times[i] > times[i - 1],
+            "VcdWriter: times must be strictly increasing");
+  }
+  for (const auto& s : reals) {
+    require(s.values.size() == times.size(),
+            "VcdWriter: real signal '" + s.name + "' sample-count mismatch");
+  }
+  for (const auto& s : bits) {
+    require(s.values.size() == times.size(),
+            "VcdWriter: bit signal '" + s.name + "' sample-count mismatch");
+  }
+
+  out << "$timescale " << static_cast<long long>(timescale_fs_)
+      << " fs $end\n";
+  out << "$scope module " << module_ << " $end\n";
+  std::vector<std::string> ids;
+  std::size_t index = 0;
+  for (const auto& s : reals) {
+    ids.push_back(id_code(index++));
+    out << "$var real 64 " << ids.back() << ' ' << sanitize(s.name)
+        << " $end\n";
+  }
+  for (const auto& s : bits) {
+    ids.push_back(id_code(index++));
+    out << "$var wire 1 " << ids.back() << ' ' << sanitize(s.name)
+        << " $end\n";
+  }
+  out << "$upscope $end\n$enddefinitions $end\n";
+
+  char buf[64];
+  const double to_ticks = 1e15 / timescale_fs_;
+  long long last_tick = -1;
+  std::vector<double> last_real(reals.size(),
+                                std::numeric_limits<double>::quiet_NaN());
+  std::vector<int> last_bit(bits.size(), -1);
+  for (std::size_t k = 0; k < times.size(); ++k) {
+    std::string changes;
+    for (std::size_t s = 0; s < reals.size(); ++s) {
+      const double v = reals[s].values[k];
+      if (k == 0 || v != last_real[s]) {
+        std::snprintf(buf, sizeof(buf), "r%.16g %s\n", v, ids[s].c_str());
+        changes += buf;
+        last_real[s] = v;
+      }
+    }
+    for (std::size_t s = 0; s < bits.size(); ++s) {
+      const int v = bits[s].values[k] ? 1 : 0;
+      if (k == 0 || v != last_bit[s]) {
+        changes += (v != 0) ? '1' : '0';
+        changes += ids[reals.size() + s];
+        changes += '\n';
+        last_bit[s] = v;
+      }
+    }
+    if (changes.empty()) continue;
+    auto tick = static_cast<long long>(std::llround(times[k] * to_ticks));
+    if (tick <= last_tick) tick = last_tick + 1;  // strictly increasing
+    out << '#' << tick << '\n' << changes;
+    last_tick = tick;
+  }
+}
+
+}  // namespace sttram

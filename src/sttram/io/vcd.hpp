@@ -1,0 +1,44 @@
+// VCD (IEEE 1364 value-change dump) export of simulation waveforms, so
+// transient results and timing diagrams open directly in GTKWave.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sttram {
+
+/// One real-valued signal to dump.
+struct VcdRealSignal {
+  std::string name;
+  std::vector<double> values;  ///< one value per time sample
+};
+
+/// One digital signal to dump.
+struct VcdBitSignal {
+  std::string name;
+  std::vector<bool> values;  ///< one value per time sample
+};
+
+/// Writes a VCD file containing real (analog) and single-bit signals
+/// sampled at common time points.
+class VcdWriter {
+ public:
+  /// `timescale_fs` is the VCD time unit in femtoseconds (default 1 fs,
+  /// fine enough for the sub-ps event resolution of the engine).
+  explicit VcdWriter(std::string module_name = "sttram",
+                     double timescale_fs = 1.0);
+
+  /// Dumps the given signals over `times` (seconds, strictly
+  /// increasing).  Every signal must have exactly times.size() samples.
+  /// Consecutive identical values are coalesced (proper VCD semantics).
+  void write(std::ostream& out, const std::vector<double>& times,
+             const std::vector<VcdRealSignal>& reals,
+             const std::vector<VcdBitSignal>& bits = {}) const;
+
+ private:
+  std::string module_;
+  double timescale_fs_;
+};
+
+}  // namespace sttram

@@ -1,0 +1,96 @@
+#include "sttram/sense/design.hpp"
+
+#include "sttram/common/error.hpp"
+#include "sttram/common/format.hpp"
+
+namespace sttram {
+
+SchemeDesign design_nondestructive_read(
+    const MtjParams& device, Ohm r_access,
+    const DesignConstraints& constraints) {
+  SchemeDesign design;
+
+  // Step 1: disturb-limited read current, clipped at the driver cap.
+  const SwitchingModel switching(device);
+  const Ampere i_disturb = switching.max_nondisturbing_current(
+      constraints.read_dwell, constraints.disturb_budget);
+  design.i_max = min(i_disturb, constraints.i_max_cap);
+  if (design.i_max < i_disturb) {
+    design.notes.push_back("I_max bound by the driver cap (" +
+                           format(constraints.i_max_cap) + ")");
+  } else {
+    design.notes.push_back("I_max bound by the disturb budget (" +
+                           format(i_disturb) + ")");
+  }
+  if (design.i_max.value() <= 0.0) {
+    design.notes.push_back("no read current satisfies the disturb budget");
+    return design;
+  }
+  // Note: the droop calibration of `device` extrapolates linearly past
+  // i_droop_ref by at most 50 %; keep the design inside that validity.
+  const Ampere validity_cap = device.i_droop_ref * 1.5;
+  if (design.i_max > validity_cap) {
+    design.i_max = validity_cap;
+    design.notes.push_back(
+        "I_max clipped to the R-I calibration validity range (" +
+        format(validity_cap) + ")");
+  }
+  design.read_disturb = switching.read_disturb_probability(
+      design.i_max, constraints.read_dwell);
+
+  // Step 2: equal-margin ratio (Eq. 10) at the chosen current.
+  SelfRefConfig config;
+  config.i_max = design.i_max;
+  config.alpha = constraints.alpha;
+  const NondestructiveSelfReference scheme(device, r_access, config);
+  try {
+    design.beta = scheme.paper_beta();
+  } catch (const Error&) {
+    design.notes.push_back(
+        "equal-margin quadratic has no root: the device's high-state "
+        "roll-off is too weak for this alpha (Eq. 16/17)");
+    return design;
+  }
+  if (design.beta * constraints.alpha <= 1.0) {
+    design.notes.push_back(
+        "alpha*beta <= 1: the divider output never crosses the first "
+        "read; scheme inoperable on this device");
+    return design;
+  }
+
+  // Step 3: margins and windows.
+  design.margins = scheme.margins(design.beta);
+  design.beta_window = beta_window(scheme);
+  design.delta_r_window = delta_r_window(scheme, design.beta);
+  design.alpha_window = scheme.alpha_deviation_window(design.beta);
+
+  // Step 4: feasibility checks.
+  bool ok = true;
+  if (design.margins.min() < constraints.required_margin) {
+    design.notes.push_back("sense margin " + format(design.margins.min()) +
+                           " below the amplifier requirement " +
+                           format(constraints.required_margin));
+    ok = false;
+  }
+  if (!design.delta_r_window.valid ||
+      design.delta_r_window.hi < constraints.expected_delta_r.value() ||
+      design.delta_r_window.lo > -constraints.expected_delta_r.value()) {
+    design.notes.push_back("dR budget tighter than the expected +-" +
+                           format(constraints.expected_delta_r) +
+                           " access-device shift");
+    ok = false;
+  }
+  if (!design.alpha_window.valid ||
+      design.alpha_window.hi < constraints.expected_alpha_dev ||
+      design.alpha_window.lo > -constraints.expected_alpha_dev) {
+    design.notes.push_back(
+        "alpha budget tighter than the expected +-" +
+        format_percent(constraints.expected_alpha_dev) + " divider error");
+    ok = false;
+  }
+  design.feasible = ok;
+  if (ok) design.notes.push_back("all constraints met");
+  return design;
+}
+
+}  // namespace sttram

@@ -1,0 +1,55 @@
+// Automated scheme design: the paper's design recipe as a procedure.
+//
+// Given a device and the designer's constraints, produce a complete
+// nondestructive-read design point:
+//   1. pick the largest read current whose disturb probability fits the
+//      budget (the paper's I_max rule, Sec. II-C.2 / Sec. V),
+//   2. solve the equal-margin read-current ratio (Eq. 10),
+//   3. evaluate margins and every mismatch window (Sec. IV),
+//   4. check the result against the sense-amp requirement.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/device/switching.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/sense/robustness.hpp"
+
+namespace sttram {
+
+/// Designer constraints.
+struct DesignConstraints {
+  Second read_dwell{5e-9};       ///< time the read current sits on the cell
+  double disturb_budget = 1e-9;  ///< max per-read disturb probability
+  Ampere i_max_cap{400e-6};      ///< driver/electromigration current limit
+  Volt required_margin{8e-3};    ///< sense-amp requirement
+  double alpha = 0.5;            ///< divider ratio (symmetric default)
+  /// Mismatch the process is expected to deliver; the design must keep
+  /// positive margins across these ranges.
+  Ohm expected_delta_r{50.0};
+  double expected_alpha_dev = 0.02;
+};
+
+/// A complete design point with its margins and budgets.
+struct SchemeDesign {
+  bool feasible = false;
+  std::vector<std::string> notes;  ///< why infeasible / which limit bound
+
+  Ampere i_max{0.0};
+  double beta = 0.0;
+  SenseMargins margins;
+  Window beta_window;
+  Window delta_r_window;
+  Window alpha_window;
+  double read_disturb = 0.0;  ///< per-read disturb at the chosen current
+};
+
+/// Runs the design procedure for the nondestructive scheme on `device`
+/// with access resistance `r_access`.
+SchemeDesign design_nondestructive_read(const MtjParams& device,
+                                        Ohm r_access,
+                                        const DesignConstraints& constraints);
+
+}  // namespace sttram

@@ -1,0 +1,71 @@
+#include "sttram/sense/latch.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+#include "sttram/stats/distributions.hpp"
+
+namespace sttram {
+
+LatchDynamics::LatchDynamics(LatchParams params) : params_(params) {
+  require(params.tau.value() > 0.0, "LatchDynamics: tau must be > 0");
+  require(params.logic_swing.value() > 0.0,
+          "LatchDynamics: logic swing must be > 0");
+  require(params.input_noise_rms.value() >= 0.0,
+          "LatchDynamics: noise must be >= 0");
+}
+
+Second LatchDynamics::decision_time(Volt margin) const {
+  const double m = std::fabs(margin.value());
+  require(m > 0.0, "decision_time: zero margin never resolves");
+  if (m >= params_.logic_swing.value()) return Second(0.0);
+  return Second(params_.tau.value() *
+                std::log(params_.logic_swing.value() / m));
+}
+
+Volt LatchDynamics::metastable_threshold(Second budget) const {
+  require(budget.value() > 0.0, "metastable_threshold: budget must be > 0");
+  // Invert t = tau ln(swing / m): m = swing * exp(-t / tau).
+  return Volt(params_.logic_swing.value() *
+              std::exp(-budget.value() / params_.tau.value()));
+}
+
+double LatchDynamics::metastability_probability(Volt margin,
+                                                Second budget) const {
+  const Volt threshold = metastable_threshold(budget);
+  const double m = margin.value();
+  const double th = threshold.value();
+  const double sigma = params_.input_noise_rms.value();
+  if (sigma == 0.0) {
+    return std::fabs(m) < th ? 1.0 : 0.0;
+  }
+  // P(-th < m + n < th) with n ~ N(0, sigma).
+  return normal_cdf((th - m) / sigma) - normal_cdf((-th - m) / sigma);
+}
+
+Second LatchDynamics::required_strobe(Volt margin, double target) const {
+  require(target > 0.0 && target < 1.0,
+          "required_strobe: target must be in (0, 1)");
+  const double m = std::fabs(margin.value());
+  require(m > 0.0, "required_strobe: zero margin never resolves");
+  const double sigma = params_.input_noise_rms.value();
+  // Noise-free: any strobe longer than decision_time works.
+  if (sigma == 0.0) return decision_time(margin);
+  // Need th such that P(|m+n| < th) <= target.  For m >> sigma the
+  // binding constraint is the lower tail: Phi((th - m)/sigma) = target,
+  // i.e. th = m + sigma * Phi^-1(target); clamp at a tiny positive th.
+  double th = m + sigma * normal_quantile(target);
+  if (th <= 0.0) {
+    // Deep-tail regime: P(|m+n| < th) ~= 2 th f(m) with f the Gaussian
+    // density of the noise at -m; invert that instead.
+    const double f = std::exp(-0.5 * (m / sigma) * (m / sigma)) /
+                     (sigma * std::sqrt(2.0 * M_PI));
+    th = target / (2.0 * f);
+  }
+  th = std::min(th, params_.logic_swing.value());
+  return Second(params_.tau.value() *
+                std::log(params_.logic_swing.value() / th));
+}
+
+}  // namespace sttram

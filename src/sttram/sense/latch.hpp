@@ -1,0 +1,55 @@
+// Regenerative latch dynamics of the sense amplifier.
+//
+// The auto-zero amplifier's decision stage is a cross-coupled latch: an
+// input difference dV regenerates exponentially with time constant tau
+// until it reaches the logic swing.  Small margins therefore cost
+// decision *time*, and margins near zero risk metastability — the
+// quantitative link between the nondestructive scheme's ~12 mV margin
+// and the paper's SenEn/Data_latch timing budget.
+#pragma once
+
+#include "sttram/common/units.hpp"
+
+namespace sttram {
+
+/// Cross-coupled latch regeneration model.
+struct LatchParams {
+  /// Regeneration time constant tau = C/gm of the cross-coupled pair.
+  Second tau{50e-12};
+  /// Output swing the latch must reach to be a valid logic level.
+  Volt logic_swing{0.6};
+  /// Input-referred RMS noise (thermal + residual offset spread).
+  Volt input_noise_rms{0.5e-3};
+};
+
+/// Decision-time / metastability model.
+class LatchDynamics {
+ public:
+  explicit LatchDynamics(LatchParams params = {});
+
+  [[nodiscard]] const LatchParams& params() const { return params_; }
+
+  /// Time for an initial difference `margin` to regenerate to the full
+  /// logic swing: t = tau * ln(swing / |margin|).
+  [[nodiscard]] Second decision_time(Volt margin) const;
+
+  /// Largest sensing margin that still needs more than `budget` to
+  /// resolve — inputs below this are effectively metastable within the
+  /// strobe window.
+  [[nodiscard]] Volt metastable_threshold(Second budget) const;
+
+  /// Probability that a read with nominal `margin` fails to resolve
+  /// within `budget`, with the input blurred by Gaussian noise:
+  /// P(|margin + n| < threshold).
+  [[nodiscard]] double metastability_probability(Volt margin,
+                                                 Second budget) const;
+
+  /// Sensing-time budget needed to push the metastability probability of
+  /// a read at `margin` below `target` (solved in closed form).
+  [[nodiscard]] Second required_strobe(Volt margin, double target) const;
+
+ private:
+  LatchParams params_;
+};
+
+}  // namespace sttram

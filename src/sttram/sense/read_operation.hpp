@@ -1,0 +1,137 @@
+// Executable read operations: state machines over a OneT1JCell with
+// latency / energy accounting, write counting and power-failure
+// injection.  These realize the paper's Fig. 3 / Fig. 5 flows and the
+// timing arguments of Sec. V.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttram/cell/bitline.hpp"
+#include "sttram/cell/cell.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/sense/sense_amp.hpp"
+
+namespace sttram {
+
+/// Timing building blocks of a read/write operation.
+struct ReadTimingParams {
+  Second t_precharge{1e-9};       ///< bit-line precharge
+  Second t_sense{1.5e-9};         ///< sense-amp fire + latch
+  Second t_write_pulse{4e-9};     ///< erase / write-back pulse width
+  Second t_write_overhead{2e-9};  ///< write-driver turnaround per pulse
+  /// Bit-line settle criterion.  The comparator margins are ~12 mV on
+  /// ~300 mV signals, so the lines must settle to ~0.3 % before sampling.
+  double settle_tolerance = 0.003;
+  BitlineParams bitline{};        ///< shared-line parasitics
+  Farad storage_cap{250e-15};     ///< C1/C2 sample capacitors
+  Ohm switch_on_resistance{2e3};  ///< SLT1/SLT2 on-resistance
+};
+
+/// Phases of a read operation, for timing-diagram style reporting.
+struct ReadPhase {
+  std::string name;
+  Second start{0.0};
+  Second duration{0.0};
+  Joule energy{0.0};
+};
+
+/// Result of executing a read operation on a cell.
+struct ReadResult {
+  bool value = false;     ///< the sensed logical bit
+  bool correct = false;   ///< sensed value == value stored before the read
+  bool reliable = false;  ///< comparator input met the required margin
+  Second latency{0.0};
+  Joule energy{0.0};
+  Volt margin{0.0};       ///< signed comparator input (positive = correct
+                          ///< direction for the sensed value)
+  /// True when the stored data was overwritten at any point during the
+  /// operation (the destructive scheme's erase step).
+  bool data_was_overwritten = false;
+  /// True when the operation ended with the cell holding a value
+  /// different from the original (power failure before write-back).
+  bool data_lost = false;
+  std::vector<ReadPhase> phases;
+};
+
+/// Power-failure injection for reliability experiments: when enabled, the
+/// supply drops after `fail_after` phases have completed and the rest of
+/// the operation (including any write-back) never happens.
+struct PowerFailure {
+  bool enabled = false;
+  std::size_t fail_after_phase = 0;
+};
+
+/// The paper's nondestructive self-reference read (Fig. 5 / Fig. 9):
+/// first read at I1 into C1, second read at I2 through the divider,
+/// sense, latch.  Never writes the cell.
+class NondestructiveReadOperation {
+ public:
+  NondestructiveReadOperation(SelfRefConfig config, double beta,
+                              ReadTimingParams timing = {},
+                              SenseAmpParams sense_amp = {});
+
+  /// Executes the read against `cell` (which is *not* modified beyond
+  /// its read counters).
+  [[nodiscard]] ReadResult execute(OneT1JCell& cell) const;
+
+  [[nodiscard]] double beta() const { return beta_; }
+  [[nodiscard]] const SelfRefConfig& config() const { return config_; }
+  [[nodiscard]] const ReadTimingParams& timing() const { return timing_; }
+
+ private:
+  SelfRefConfig config_;
+  double beta_;
+  ReadTimingParams timing_;
+  SenseAmp amp_;
+};
+
+/// The conventional destructive self-reference read (Fig. 3): first
+/// read, erase to 0, second read, sense, conditional write-back.
+class DestructiveReadOperation {
+ public:
+  DestructiveReadOperation(SelfRefConfig config, double beta,
+                           Ampere write_current, ReadTimingParams timing = {},
+                           SenseAmpParams sense_amp = {});
+
+  /// Executes the read; the cell is erased and written back.  With
+  /// `failure` enabled the operation aborts mid-way and the cell may be
+  /// left holding the wrong value (the paper's non-volatility concern).
+  [[nodiscard]] ReadResult execute(OneT1JCell& cell,
+                                   const PowerFailure& failure = {}) const;
+
+  [[nodiscard]] double beta() const { return beta_; }
+  /// Phase index after which the stored value is at risk (erase done,
+  /// write-back not yet complete) — handy for failure-injection sweeps.
+  [[nodiscard]] static constexpr std::size_t erase_phase_index() { return 2; }
+  [[nodiscard]] static constexpr std::size_t writeback_phase_index() {
+    return 5;
+  }
+
+ private:
+  SelfRefConfig config_;
+  double beta_;
+  Ampere write_current_;
+  ReadTimingParams timing_;
+  SenseAmp amp_;
+};
+
+/// Conventional externally-referenced read: one read, compare to V_REF.
+class ConventionalReadOperation {
+ public:
+  ConventionalReadOperation(Ampere i_read, Volt v_ref,
+                            ReadTimingParams timing = {},
+                            SenseAmpParams sense_amp = {});
+
+  [[nodiscard]] ReadResult execute(OneT1JCell& cell) const;
+
+  [[nodiscard]] Volt reference() const { return v_ref_; }
+
+ private:
+  Ampere i_read_;
+  Volt v_ref_;
+  ReadTimingParams timing_;
+  SenseAmp amp_;
+};
+
+}  // namespace sttram

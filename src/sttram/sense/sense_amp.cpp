@@ -1,0 +1,26 @@
+#include "sttram/sense/sense_amp.hpp"
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+SenseAmp::SenseAmp(SenseAmpParams params) : params_(params) {
+  require(params.required_margin.value() >= 0.0,
+          "SenseAmp: required_margin must be >= 0");
+}
+
+bool SenseAmp::decide(Volt v_plus, Volt v_minus) const {
+  return (v_plus - v_minus) > params_.offset;
+}
+
+bool SenseAmp::reliable(Volt v_plus, Volt v_minus) const {
+  const Volt diff = abs(v_plus - v_minus - params_.offset);
+  return diff >= params_.required_margin;
+}
+
+bool SenseAmp::latch(Volt v_plus, Volt v_minus) {
+  latched_value_ = decide(v_plus, v_minus);
+  return latched_value_;
+}
+
+}  // namespace sttram

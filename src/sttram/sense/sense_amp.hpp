@@ -1,0 +1,45 @@
+// Behavioral voltage sense amplifier with auto-zero residual offset.
+#pragma once
+
+#include "sttram/common/units.hpp"
+
+namespace sttram {
+
+/// Parameters of the (auto-zeroed) latch-type voltage sense amplifier.
+/// The paper's test chip uses an auto-zero amplifier with a built-in data
+/// latch and budgets ~8 mV of input margin for reliable resolution.
+struct SenseAmpParams {
+  /// Residual input-referred offset after auto-zeroing.  The comparator
+  /// resolves (v_plus - v_minus) > offset.
+  Volt offset{0.0};
+  /// Margin below which a read is considered unreliable (the paper's
+  /// "assuring a sense margin about 8 mV" criterion for Fig. 11).
+  Volt required_margin{8e-3};
+};
+
+/// Voltage comparator + latch.
+class SenseAmp {
+ public:
+  explicit SenseAmp(SenseAmpParams params = {});
+
+  [[nodiscard]] const SenseAmpParams& params() const { return params_; }
+
+  /// Comparator decision: true when v_plus exceeds v_minus by more than
+  /// the residual offset.
+  [[nodiscard]] bool decide(Volt v_plus, Volt v_minus) const;
+
+  /// True when the differential input is large enough (in either
+  /// direction) to be resolved reliably.
+  [[nodiscard]] bool reliable(Volt v_plus, Volt v_minus) const;
+
+  /// Latches a decision (models the Data_Latch stage; the latched value
+  /// is sticky until the next latch call).
+  bool latch(Volt v_plus, Volt v_minus);
+  [[nodiscard]] bool latched() const { return latched_value_; }
+
+ private:
+  SenseAmpParams params_;
+  bool latched_value_ = false;
+};
+
+}  // namespace sttram

@@ -1,0 +1,172 @@
+#include "sttram/sim/march.hpp"
+
+#include <algorithm>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+std::string_view to_string(ReadScheme s) {
+  switch (s) {
+    case ReadScheme::kConventional:
+      return "conventional";
+    case ReadScheme::kDestructive:
+      return "destructive self-ref";
+    case ReadScheme::kNondestructive:
+      return "nondestructive self-ref";
+  }
+  return "?";
+}
+
+TestableArray::TestableArray(ArrayGeometry geometry,
+                             const MtjVariationModel& variation,
+                             std::uint64_t seed, SelfRefConfig selfref,
+                             Volt required_margin)
+    : array_(geometry, variation, /*sigma_access=*/0.02, seed),
+      faults_(geometry.cell_count(), FaultType::kNone),
+      selfref_(selfref),
+      required_margin_(required_margin) {
+  const MtjParams nominal = MtjParams::paper_calibrated();
+  const Ohm r_t(917.0);
+  shared_v_ref_ =
+      ConventionalSensing(nominal, r_t, selfref.i_max).midpoint_reference();
+  beta_destructive_ =
+      DestructiveSelfReference(nominal, r_t, selfref).paper_beta();
+  beta_nondestructive_ =
+      NondestructiveSelfReference(nominal, r_t, selfref).paper_beta();
+}
+
+std::size_t TestableArray::index(std::size_t row, std::size_t col) const {
+  require(row < array_.geometry().rows && col < array_.geometry().cols,
+          "TestableArray: cell coordinates out of range");
+  return row * array_.geometry().cols + col;
+}
+
+void TestableArray::inject(std::size_t row, std::size_t col,
+                           FaultType fault) {
+  faults_[index(row, col)] = fault;
+  // Stuck cells physically sit in their stuck state.
+  if (fault == FaultType::kStuckAtZero) array_.store(row, col, false);
+  if (fault == FaultType::kStuckAtOne) array_.store(row, col, true);
+}
+
+FaultType TestableArray::fault(std::size_t row, std::size_t col) const {
+  return faults_[index(row, col)];
+}
+
+void TestableArray::write(std::size_t row, std::size_t col, bool bit) {
+  switch (faults_[index(row, col)]) {
+    case FaultType::kStuckAtZero:
+      return;  // pinned at 0
+    case FaultType::kStuckAtOne:
+      return;  // pinned at 1
+    case FaultType::kTransitionUp:
+      if (bit && !array_.stored(row, col)) return;  // 0->1 fails
+      break;
+    case FaultType::kTransitionDown:
+      if (!bit && array_.stored(row, col)) return;  // 1->0 fails
+      break;
+    case FaultType::kNone:
+      break;
+  }
+  array_.store(row, col, bit);
+}
+
+bool TestableArray::stored(std::size_t row, std::size_t col) const {
+  return array_.stored(row, col);
+}
+
+bool TestableArray::read(std::size_t row, std::size_t col,
+                         ReadScheme scheme) const {
+  const bool value = array_.stored(row, col);
+  const ArrayCell& cell = array_.cell(row, col);
+  const LinearRiModel model(cell.params);
+  const FixedAccessResistor access(cell.r_access);
+  Volt margin{0.0};
+  switch (scheme) {
+    case ReadScheme::kConventional: {
+      const ConventionalSensing conv(model, access, selfref_.i_max);
+      const SenseMargins m = conv.margins(shared_v_ref_);
+      margin = value ? m.sm1 : m.sm0;
+      break;
+    }
+    case ReadScheme::kDestructive: {
+      const DestructiveSelfReference s(model, access, selfref_);
+      const SenseMargins m = s.margins(beta_destructive_);
+      margin = value ? m.sm1 : m.sm0;
+      break;
+    }
+    case ReadScheme::kNondestructive: {
+      const NondestructiveSelfReference s(model, access, selfref_);
+      const SenseMargins m = s.margins(beta_nondestructive_);
+      margin = value ? m.sm1 : m.sm0;
+      break;
+    }
+  }
+  // A margin below the amplifier requirement misreads the bit.
+  if (margin < required_margin_) return !value;
+  return value;
+}
+
+MarchResult run_march(TestableArray& array, ReadScheme scheme,
+                      const std::vector<MarchElement>& algorithm) {
+  MarchResult result;
+  const std::size_t rows = array.geometry().rows;
+  const std::size_t cols = array.geometry().cols;
+  const std::size_t n = rows * cols;
+  std::vector<bool> flagged(n, false);
+
+  for (const MarchElement& element : algorithm) {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::size_t idx = element.ascending ? k : n - 1 - k;
+      const std::size_t row = idx / cols;
+      const std::size_t col = idx % cols;
+      for (const MarchOp& op : element.ops) {
+        ++result.operations;
+        if (op.is_write) {
+          array.write(row, col, op.value);
+        } else {
+          const bool got = array.read(row, col, scheme);
+          if (got != op.value && !flagged[idx]) {
+            flagged[idx] = true;
+            result.failing_cells.emplace_back(row, col);
+          }
+        }
+      }
+    }
+  }
+  std::sort(result.failing_cells.begin(), result.failing_cells.end());
+  return result;
+}
+
+namespace {
+
+MarchOp w(bool v) { return MarchOp{true, v}; }
+MarchOp r(bool v) { return MarchOp{false, v}; }
+
+}  // namespace
+
+std::vector<MarchElement> march_c_minus() {
+  return {
+      {true, {w(false)}},
+      {true, {r(false), w(true)}},
+      {true, {r(true), w(false)}},
+      {false, {r(false), w(true)}},
+      {false, {r(true), w(false)}},
+      {false, {r(false)}},
+  };
+}
+
+std::vector<MarchElement> mats_plus() {
+  return {
+      {true, {w(false)}},
+      {true, {r(false), w(true)}},
+      {false, {r(true), w(false)}},
+  };
+}
+
+MarchResult run_march_c_minus(TestableArray& array, ReadScheme scheme) {
+  return run_march(array, scheme, march_c_minus());
+}
+
+}  // namespace sttram

@@ -1,0 +1,111 @@
+// Memory test: fault injection and March algorithms over the varied
+// array, with the read performed by a selectable sensing scheme.
+//
+// This is the manufacturing-test view of the paper's result: a March
+// test that reads with conventional referenced sensing flags every
+// variation victim as a faulty bit (yield loss), while the same array
+// read with a self-reference scheme passes — the sensing scheme recovers
+// those bits.  Injected stuck-at / transition faults are still caught by
+// every scheme.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sttram/cell/array.hpp"
+#include "sttram/sense/margins.hpp"
+
+namespace sttram {
+
+/// Classic cell fault models.
+enum class FaultType {
+  kNone,
+  kStuckAtZero,     ///< cell always reads/holds 0
+  kStuckAtOne,      ///< cell always reads/holds 1
+  kTransitionUp,    ///< cell cannot switch 0 -> 1
+  kTransitionDown,  ///< cell cannot switch 1 -> 0
+};
+
+/// Read scheme used by the tester.
+enum class ReadScheme {
+  kConventional,    ///< shared V_REF (nominal midpoint)
+  kDestructive,     ///< destructive self-reference
+  kNondestructive,  ///< the paper's nondestructive self-reference
+};
+
+[[nodiscard]] std::string_view to_string(ReadScheme s);
+
+/// An array under test: process-varied cells + injected faults +
+/// scheme-accurate reads.
+class TestableArray {
+ public:
+  /// `required_margin` models the sense amplifier: a read whose margin
+  /// for the stored state falls below it returns the wrong value.
+  TestableArray(ArrayGeometry geometry, const MtjVariationModel& variation,
+                std::uint64_t seed, SelfRefConfig selfref = {},
+                Volt required_margin = Volt(0.0));
+
+  [[nodiscard]] const ArrayGeometry& geometry() const {
+    return array_.geometry();
+  }
+
+  /// Injects a fault into one cell.
+  void inject(std::size_t row, std::size_t col, FaultType fault);
+  [[nodiscard]] FaultType fault(std::size_t row, std::size_t col) const;
+
+  /// Writes a bit, honoring stuck-at / transition faults.
+  void write(std::size_t row, std::size_t col, bool bit);
+
+  /// Reads a bit with the given scheme: the scheme's margin math decides
+  /// whether the stored value is recovered or misread.
+  [[nodiscard]] bool read(std::size_t row, std::size_t col,
+                          ReadScheme scheme) const;
+
+  /// The value physically stored (ground truth, test oracle).
+  [[nodiscard]] bool stored(std::size_t row, std::size_t col) const;
+
+ private:
+  [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const;
+
+  MemoryArray array_;
+  std::vector<FaultType> faults_;
+  SelfRefConfig selfref_;
+  Volt required_margin_;
+  Volt shared_v_ref_{0.0};
+  double beta_destructive_ = 0.0;
+  double beta_nondestructive_ = 0.0;
+};
+
+/// One March element: a sweep direction and a sequence of operations.
+struct MarchOp {
+  bool is_write = false;
+  bool value = false;  ///< expected value for reads, written value for writes
+};
+struct MarchElement {
+  bool ascending = true;
+  std::vector<MarchOp> ops;
+};
+
+/// Result of running a March algorithm.
+struct MarchResult {
+  std::size_t operations = 0;
+  /// (row, col) of every mismatching read (deduplicated).
+  std::vector<std::pair<std::size_t, std::size_t>> failing_cells;
+  [[nodiscard]] bool passed() const { return failing_cells.empty(); }
+};
+
+/// Runs an arbitrary March algorithm with the given read scheme.
+MarchResult run_march(TestableArray& array, ReadScheme scheme,
+                      const std::vector<MarchElement>& algorithm);
+
+/// March C-: {up(w0); up(r0,w1); up(r1,w0); down(r0,w1); down(r1,w0);
+/// down(r0)} — detects stuck-at, transition and coupling faults.
+std::vector<MarchElement> march_c_minus();
+
+/// MATS+ (shorter): {up(w0); up(r0,w1); down(r1,w0)}.
+std::vector<MarchElement> mats_plus();
+
+MarchResult run_march_c_minus(TestableArray& array, ReadScheme scheme);
+
+}  // namespace sttram

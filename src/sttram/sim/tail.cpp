@@ -1,0 +1,54 @@
+#include "sttram/sim/tail.hpp"
+
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+double nondestructive_margin_at(const TailConfig& config,
+                                const std::vector<double>& z) {
+  require(z.size() == kTailDimensions,
+          "nondestructive_margin_at: expected 5 variation coordinates");
+  const MtjParams nominal = MtjParams::paper_calibrated();
+  const double common = std::exp(config.variation.sigma_common * z[0]);
+  const double tmr = std::exp(config.variation.sigma_tmr * z[1]);
+  const MtjParams params = nominal.scaled(common, tmr);
+  const Ohm r_access(917.0 * std::exp(config.sigma_access * z[2]));
+  const LinearRiModel model(params);
+  const FixedAccessResistor access(r_access);
+  const NondestructiveSelfReference scheme(model, access, config.selfref);
+  double beta = config.beta;
+  if (beta <= 0.0) {
+    beta = NondestructiveSelfReference(nominal, Ohm(917.0), config.selfref)
+               .paper_beta();
+  }
+  SchemeMismatch mm;
+  mm.beta_deviation = config.sigma_beta * z[3];
+  mm.alpha_deviation = config.sigma_alpha * z[4];
+  return scheme.margins(beta, mm).min().value();
+}
+
+TailEstimate estimate_margin_tail(const TailConfig& config,
+                                  std::uint64_t seed, std::size_t trials) {
+  const auto g = [&](const std::vector<double>& z) {
+    return nondestructive_margin_at(config, z) - config.threshold.value();
+  };
+  TailEstimate out;
+  out.design_point = design_point_on_gradient(g, kTailDimensions);
+  if (out.design_point.empty()) {
+    // No failure region within the search radius: report zero.
+    out.estimate.trials = trials;
+    return out;
+  }
+  double r2 = 0.0;
+  for (const double v : out.design_point) r2 += v * v;
+  out.design_radius = std::sqrt(r2);
+  out.estimate = importance_sample(
+      seed, trials, out.design_point,
+      [&](const std::vector<double>& z) { return g(z) < 0.0; });
+  out.expected_failures_16kb = out.estimate.probability * 16384.0;
+  return out;
+}
+
+}  // namespace sttram

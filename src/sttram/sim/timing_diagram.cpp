@@ -1,0 +1,108 @@
+#include "sttram/sim/timing_diagram.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "sttram/common/format.hpp"
+
+namespace sttram {
+
+std::string TimingDiagram::render(int columns) const {
+  std::size_t name_width = 0;
+  for (const auto& s : signals) {
+    name_width = std::max(name_width, s.name.size());
+  }
+  std::ostringstream os;
+  for (const auto& s : signals) {
+    os << "  " << s.name << std::string(name_width - s.name.size(), ' ')
+       << " ";
+    for (int c = 0; c < columns; ++c) {
+      const Second t = horizon * (static_cast<double>(c) + 0.5) /
+                       static_cast<double>(columns);
+      os << (s.asserted_at(t) ? '#' : '_');
+    }
+    os << '\n';
+  }
+  os << "  " << std::string(name_width, ' ') << " 0"
+     << std::string(static_cast<std::size_t>(columns) - 1 -
+                        format(horizon).size(),
+                    ' ')
+     << format(horizon) << '\n';
+  return os.str();
+}
+
+TimingDiagram build_timing_diagram(const ReadResult& result) {
+  TimingDiagram d;
+  d.horizon = result.latency;
+
+  const auto find_phase = [&](const std::string& prefix)
+      -> const ReadPhase* {
+    for (const auto& p : result.phases) {
+      if (p.name.rfind(prefix, 0) == 0) return &p;
+    }
+    return nullptr;
+  };
+
+  const ReadPhase* read1 = find_phase("read1");
+  const ReadPhase* read2 = find_phase("read2");
+  const ReadPhase* erase = find_phase("erase");
+  const ReadPhase* sense = find_phase("sense");
+  const ReadPhase* writeback = find_phase("write-back");
+
+  SignalTrace wl{"WL", {}};
+  if (read1 != nullptr) {
+    // The word line stays asserted from the first read to the end.
+    wl.asserted.emplace_back(read1->start, d.horizon);
+  }
+  d.signals.push_back(wl);
+
+  SignalTrace slt1{"SLT1", {}};
+  if (read1 != nullptr) {
+    slt1.asserted.emplace_back(read1->start, read1->start + read1->duration);
+  }
+  d.signals.push_back(slt1);
+
+  SignalTrace slt2{"SLT2", {}};
+  if (read2 != nullptr) {
+    slt2.asserted.emplace_back(read2->start, read2->start + read2->duration);
+  }
+  d.signals.push_back(slt2);
+
+  if (erase != nullptr) {
+    SignalTrace we{"WriteEn(erase)", {}};
+    we.asserted.emplace_back(erase->start, erase->start + erase->duration);
+    d.signals.push_back(we);
+  }
+
+  SignalTrace sen{"SenEn", {}};
+  SignalTrace latch{"Data_latch", {}};
+  if (sense != nullptr) {
+    const Second mid = sense->start + 0.5 * sense->duration;
+    sen.asserted.emplace_back(sense->start, mid);
+    latch.asserted.emplace_back(mid, sense->start + sense->duration);
+  }
+  d.signals.push_back(sen);
+  d.signals.push_back(latch);
+
+  if (writeback != nullptr) {
+    SignalTrace wb{"WriteEn(restore)", {}};
+    wb.asserted.emplace_back(writeback->start,
+                             writeback->start + writeback->duration);
+    d.signals.push_back(wb);
+  }
+
+  SignalTrace i1{"Iread=I1", {}};
+  if (read1 != nullptr) {
+    i1.asserted.emplace_back(read1->start, read1->start + read1->duration);
+  }
+  d.signals.push_back(i1);
+  SignalTrace i2{"Iread=I2", {}};
+  if (read2 != nullptr) {
+    i2.asserted.emplace_back(read2->start, read2->start + read2->duration);
+  }
+  d.signals.push_back(i2);
+
+  return d;
+}
+
+}  // namespace sttram

@@ -1,0 +1,39 @@
+// Control-signal timing diagram of a read operation (the paper's Fig. 9).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttram/common/units.hpp"
+#include "sttram/sense/read_operation.hpp"
+
+namespace sttram {
+
+/// One digital control signal as a list of asserted intervals.
+struct SignalTrace {
+  std::string name;
+  std::vector<std::pair<Second, Second>> asserted;  ///< [start, end)
+
+  [[nodiscard]] bool asserted_at(Second t) const {
+    for (const auto& [s, e] : asserted) {
+      if (t >= s && t < e) return true;
+    }
+    return false;
+  }
+};
+
+/// A timing diagram: several signals over a common horizon.
+struct TimingDiagram {
+  Second horizon{0.0};
+  std::vector<SignalTrace> signals;
+
+  /// Renders the classic waveform view (one row per signal, '_' low and
+  /// '#' high) with `columns` time samples.
+  [[nodiscard]] std::string render(int columns = 72) const;
+};
+
+/// Builds the Fig. 9 diagram (WL, SLT1, SLT2, SenEn, Data_latch, and the
+/// read-current level I1/I2) from an executed read's phases.
+TimingDiagram build_timing_diagram(const ReadResult& result);
+
+}  // namespace sttram

@@ -1,0 +1,60 @@
+// Latency / energy / reliability comparison of the three read schemes
+// (the paper's Sec. V discussion: the nondestructive scheme removes two
+// write pulses and shortens the second read).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttram/sense/read_operation.hpp"
+
+namespace sttram {
+
+/// One comparison row.
+struct SchemeCost {
+  std::string scheme;
+  Second latency_read0{0.0};  ///< read latency with a stored 0
+  Second latency_read1{0.0};  ///< read latency with a stored 1
+  Joule energy_read0{0.0};
+  Joule energy_read1{0.0};
+  std::uint64_t write_pulses_read0 = 0;
+  std::uint64_t write_pulses_read1 = 0;
+  bool nondestructive = false;
+
+  [[nodiscard]] Second worst_latency() const {
+    return max(latency_read0, latency_read1);
+  }
+  [[nodiscard]] Joule worst_energy() const {
+    return max(energy_read0, energy_read1);
+  }
+};
+
+/// Configuration shared by the comparison.
+struct CostComparisonConfig {
+  SelfRefConfig selfref{};
+  double beta_destructive = 0.0;     ///< 0 = paper_beta()
+  double beta_nondestructive = 0.0;  ///< 0 = paper_beta()
+  Ampere write_current{750e-6};      ///< 1.5x critical for deterministic writes
+  ReadTimingParams timing{};
+  Volt v_ref_conventional{0.0};      ///< 0 = nominal midpoint
+};
+
+/// Runs each scheme on a nominal cell storing 0 and storing 1.
+std::vector<SchemeCost> compare_scheme_costs(
+    const CostComparisonConfig& config);
+
+/// Power-failure experiment: injects a supply drop after every phase of
+/// both self-reference reads and reports whether the stored value
+/// survived (the paper's non-volatility argument for the nondestructive
+/// scheme).
+struct PowerFailureOutcome {
+  std::string scheme;
+  std::size_t fail_after_phase = 0;
+  std::string phase_name;      ///< last completed phase
+  bool stored_bit = false;     ///< value stored before the read
+  bool data_survived = false;  ///< cell still holds it after the failure
+};
+std::vector<PowerFailureOutcome> power_failure_experiment(
+    const CostComparisonConfig& config);
+
+}  // namespace sttram

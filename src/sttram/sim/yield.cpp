@@ -1,0 +1,151 @@
+#include "sttram/sim/yield.hpp"
+
+#include "sttram/common/error.hpp"
+#include "sttram/stats/distributions.hpp"
+#include "sttram/stats/rng.hpp"
+
+namespace sttram {
+namespace {
+
+void record(SchemeYield& y, const SenseMargins& m, Volt required,
+            std::size_t keep_every) {
+  y.bits += 1;
+  y.sm0_stats.add(m.sm0.value());
+  y.sm1_stats.add(m.sm1.value());
+  if (m.min() < required) y.failures += 1;
+  if (keep_every == 0 || (y.bits % keep_every) == 1 || keep_every == 1) {
+    y.scatter.emplace_back(m.sm0.value(), m.sm1.value());
+  }
+}
+
+}  // namespace
+
+YieldResult run_yield_experiment(const YieldConfig& config) {
+  const MtjParams nominal = MtjParams::paper_calibrated();
+
+  YieldResult result;
+  // Die-level common factor: every MTJ on this chip (data and reference
+  // cells) shares it; within-die variation samples around it.
+  if (config.die_sigma > 0.0) {
+    Xoshiro256 die_stream(config.seed ^ 0xd1ed1ed1ed1ed1eULL);
+    result.die_factor =
+        sample_lognormal_median(die_stream, 1.0, config.die_sigma);
+  }
+  const MtjParams die_nominal = nominal.scaled(result.die_factor, 1.0);
+  const MtjVariationModel variation(die_nominal, config.variation);
+  const MemoryArray array(config.geometry, variation, config.sigma_access,
+                          config.seed);
+
+  result.conventional.scheme = "conventional";
+  result.reference_cell.scheme = "reference-cell";
+  result.destructive.scheme = "destructive self-ref";
+  result.nondestructive.scheme = "nondestructive self-ref";
+
+  // Designed betas come from the nominal device unless overridden.
+  const FixedAccessResistor nominal_access(Ohm(917.0));
+  const LinearRiModel nominal_model(nominal);
+  const DestructiveSelfReference nominal_destructive(
+      nominal_model, nominal_access, config.selfref);
+  const NondestructiveSelfReference nominal_nondestructive(
+      nominal_model, nominal_access, config.selfref);
+  result.beta_destructive = config.beta_destructive > 0.0
+                                ? config.beta_destructive
+                                : nominal_destructive.paper_beta();
+  result.beta_nondestructive = config.beta_nondestructive > 0.0
+                                   ? config.beta_nondestructive
+                                   : nominal_nondestructive.paper_beta();
+
+  // Shared reference from the nominal device, as a real design would.
+  const ConventionalSensing nominal_conventional(nominal_model,
+                                                 nominal_access,
+                                                 config.selfref.i_max);
+  result.shared_v_ref = nominal_conventional.midpoint_reference();
+  result.shared_reference_window =
+      array.shared_reference_window(config.selfref.i_max);
+
+  const std::size_t cells = config.geometry.cell_count();
+  const std::size_t keep_every =
+      (config.max_scatter_points == 0 ||
+       cells <= config.max_scatter_points)
+          ? 1
+          : cells / config.max_scatter_points;
+
+  // Per-column peripheral mismatch streams.
+  const Xoshiro256 column_master(config.seed ^ 0x5741524d5454536bULL);
+  std::vector<double> col_beta_dev(config.geometry.cols, 0.0);
+  std::vector<double> col_alpha_dev(config.geometry.cols, 0.0);
+  std::vector<double> col_vref_err(config.geometry.cols, 0.0);
+  std::vector<MtjParams> col_ref_p(config.geometry.cols);
+  std::vector<MtjParams> col_ref_ap(config.geometry.cols);
+  for (std::size_t c = 0; c < config.geometry.cols; ++c) {
+    Xoshiro256 stream = column_master.fork(c);
+    col_beta_dev[c] = sample_normal(stream, 0.0, config.sigma_beta);
+    col_alpha_dev[c] = sample_normal(stream, 0.0, config.sigma_alpha);
+    col_vref_err[c] =
+        sample_normal(stream, 0.0, config.sigma_vref.value());
+    // The column's reference pair: two more devices from the same die.
+    col_ref_p[c] = variation.sample(stream);
+    col_ref_ap[c] = variation.sample(stream);
+  }
+
+  for (std::size_t row = 0; row < config.geometry.rows; ++row) {
+    for (std::size_t col = 0; col < config.geometry.cols; ++col) {
+      const ArrayCell& cell = array.cell(row, col);
+      const LinearRiModel model(cell.params);
+      const FixedAccessResistor access(cell.r_access);
+
+      // Conventional sensing against the shared reference (with the
+      // column's reference-distribution error).
+      const ConventionalSensing conv(model, access, config.selfref.i_max);
+      const Volt v_ref = result.shared_v_ref + Volt(col_vref_err[col]);
+      record(result.conventional, conv.margins(v_ref),
+             config.required_margin, keep_every);
+
+      // Reference-cell sensing against the column's reference pair.
+      const LinearRiModel ref_p_model(col_ref_p[col]);
+      const LinearRiModel ref_ap_model(col_ref_ap[col]);
+      const ReferenceCellSensing ref_cell(model, access, ref_p_model,
+                                          ref_ap_model,
+                                          config.selfref.i_max);
+      record(result.reference_cell, ref_cell.margins(),
+             config.required_margin, keep_every);
+
+      SchemeMismatch mm;
+      mm.beta_deviation = col_beta_dev[col];
+
+      const DestructiveSelfReference destructive(model, access,
+                                                 config.selfref);
+      record(result.destructive,
+             destructive.margins(result.beta_destructive, mm),
+             config.required_margin, keep_every);
+
+      mm.alpha_deviation = col_alpha_dev[col];
+      const NondestructiveSelfReference nondestructive(model, access,
+                                                       config.selfref);
+      record(result.nondestructive,
+             nondestructive.margins(result.beta_nondestructive, mm),
+             config.required_margin, keep_every);
+    }
+  }
+  return result;
+}
+
+std::vector<YieldSweepPoint> sweep_variation(
+    const YieldConfig& base, const std::vector<double>& sigmas) {
+  std::vector<YieldSweepPoint> out;
+  out.reserve(sigmas.size());
+  for (const double sigma : sigmas) {
+    YieldConfig cfg = base;
+    cfg.variation.sigma_common = sigma;
+    const YieldResult r = run_yield_experiment(cfg);
+    YieldSweepPoint p;
+    p.sigma_common = sigma;
+    p.conventional_failure_rate = r.conventional.failure_rate();
+    p.destructive_failure_rate = r.destructive.failure_rate();
+    p.nondestructive_failure_rate = r.nondestructive.failure_rate();
+    out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace sttram

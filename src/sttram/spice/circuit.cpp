@@ -1,0 +1,45 @@
+#include "sttram/spice/circuit.hpp"
+
+#include "sttram/common/error.hpp"
+
+namespace sttram::spice {
+
+NodeId Circuit::node(const std::string& name) {
+  if (name == "0" || name == "gnd" || name == "GND") return kGround;
+  const auto it = node_ids_.find(name);
+  if (it != node_ids_.end()) return it->second;
+  const NodeId id = static_cast<NodeId>(node_names_.size());
+  node_ids_.emplace(name, id);
+  node_names_.push_back(name);
+  finalized_ = false;
+  return id;
+}
+
+const std::string& Circuit::node_name(NodeId id) const {
+  static const std::string kGroundName = "0";
+  if (id == kGround) return kGroundName;
+  require(id >= 0 && static_cast<std::size_t>(id) < node_names_.size(),
+          "Circuit::node_name: unknown node id");
+  return node_names_[static_cast<std::size_t>(id)];
+}
+
+Element* Circuit::find(const std::string& name) {
+  for (const auto& e : elements_) {
+    if (e->name() == name) return e.get();
+  }
+  return nullptr;
+}
+
+void Circuit::finalize() {
+  int branch = 0;
+  for (const auto& e : elements_) {
+    if (e->branch_count() > 0) {
+      e->set_branch_base(branch);
+      branch += e->branch_count();
+    }
+  }
+  unknowns_ = node_names_.size() + static_cast<std::size_t>(branch);
+  finalized_ = true;
+}
+
+}  // namespace sttram::spice

@@ -1,0 +1,71 @@
+// Circuit description (netlist) for the MNA simulator.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "sttram/spice/element.hpp"
+
+namespace sttram::spice {
+
+/// A flat netlist: named nodes plus a list of elements.  Node "0" / the
+/// kGround constant is the reference node.
+class Circuit {
+ public:
+  Circuit() = default;
+  Circuit(const Circuit&) = delete;
+  Circuit& operator=(const Circuit&) = delete;
+  Circuit(Circuit&&) = default;
+  Circuit& operator=(Circuit&&) = default;
+
+  /// Returns the id of `name`, creating the node on first use.
+  /// The name "0" always maps to ground.
+  NodeId node(const std::string& name);
+
+  /// Ground reference.
+  [[nodiscard]] static constexpr NodeId ground() { return kGround; }
+
+  /// Adds an element (takes ownership) and returns a typed reference.
+  template <typename T, typename... Args>
+  T& add(Args&&... args) {
+    auto elem = std::make_unique<T>(std::forward<Args>(args)...);
+    T& ref = *elem;
+    elements_.push_back(std::move(elem));
+    finalized_ = false;
+    return ref;
+  }
+
+  [[nodiscard]] std::size_t node_count() const { return node_names_.size(); }
+  [[nodiscard]] std::size_t element_count() const { return elements_.size(); }
+  [[nodiscard]] const std::string& node_name(NodeId id) const;
+  [[nodiscard]] const std::vector<std::unique_ptr<Element>>& elements()
+      const {
+    return elements_;
+  }
+
+  /// Looks up an element by name (nullptr when absent).
+  [[nodiscard]] Element* find(const std::string& name);
+
+  /// Assigns branch indices to elements that need extra MNA unknowns and
+  /// freezes the system size.  Called automatically by the analyses.
+  void finalize();
+  [[nodiscard]] bool finalized() const { return finalized_; }
+
+  /// Total MNA unknown count (nodes + source branches).  Valid after
+  /// finalize().
+  [[nodiscard]] std::size_t unknown_count() const { return unknowns_; }
+  [[nodiscard]] std::size_t branch_count() const {
+    return unknowns_ - node_count();
+  }
+
+ private:
+  std::unordered_map<std::string, NodeId> node_ids_;
+  std::vector<std::string> node_names_;
+  std::vector<std::unique_ptr<Element>> elements_;
+  std::size_t unknowns_ = 0;
+  bool finalized_ = false;
+};
+
+}  // namespace sttram::spice

@@ -1,0 +1,51 @@
+// Dense linear algebra for the MNA solver.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace sttram::spice {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols);
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  double& operator()(std::size_t r, std::size_t c);
+  double operator()(std::size_t r, std::size_t c) const;
+
+  /// Sets every entry to zero (keeps dimensions).
+  void clear();
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// LU factorization with partial pivoting of a square matrix.
+/// Throws CircuitError when the matrix is numerically singular.
+class LuFactorization {
+ public:
+  explicit LuFactorization(Matrix a);
+
+  /// Solves A x = b.
+  [[nodiscard]] std::vector<double> solve(std::vector<double> b) const;
+
+  /// Largest |pivot| ratio encountered — a crude condition indicator.
+  [[nodiscard]] double min_pivot() const { return min_pivot_; }
+
+ private:
+  Matrix lu_;
+  std::vector<std::size_t> perm_;
+  double min_pivot_ = 0.0;
+};
+
+/// One-shot solve of A x = b.
+std::vector<double> solve_linear_system(Matrix a, std::vector<double> b);
+
+}  // namespace sttram::spice

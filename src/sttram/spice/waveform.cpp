@@ -1,0 +1,55 @@
+#include "sttram/spice/waveform.hpp"
+
+#include <algorithm>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram::spice {
+
+PwlWaveform::PwlWaveform(std::vector<double> times,
+                         std::vector<double> values)
+    : times_(std::move(times)), values_(std::move(values)) {
+  require(times_.size() == values_.size(),
+          "PwlWaveform: times/values size mismatch");
+  require(!times_.empty(), "PwlWaveform: need at least one point");
+  for (std::size_t i = 1; i < times_.size(); ++i) {
+    require(times_[i] > times_[i - 1],
+            "PwlWaveform: times must be strictly increasing");
+  }
+}
+
+double PwlWaveform::at(double time) const {
+  if (time <= times_.front()) return values_.front();
+  if (time >= times_.back()) return values_.back();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), time);
+  const std::size_t i = static_cast<std::size_t>(it - times_.begin());
+  const double t = (time - times_[i - 1]) / (times_[i] - times_[i - 1]);
+  return values_[i - 1] + t * (values_[i] - values_[i - 1]);
+}
+
+PulseWaveform::PulseWaveform(double base, double high, double t_on,
+                             double t_off, double rise, double fall)
+    : base_(base),
+      high_(high),
+      t_on_(t_on),
+      t_off_(t_off),
+      rise_(rise),
+      fall_(fall) {
+  require(t_off > t_on, "PulseWaveform: t_off must be after t_on");
+  require(rise >= 0.0 && fall >= 0.0,
+          "PulseWaveform: ramp times must be >= 0");
+}
+
+double PulseWaveform::at(double time) const {
+  if (time <= t_on_) return base_;
+  if (rise_ > 0.0 && time < t_on_ + rise_) {
+    return base_ + (high_ - base_) * (time - t_on_) / rise_;
+  }
+  if (time <= t_off_) return high_;
+  if (fall_ > 0.0 && time < t_off_ + fall_) {
+    return high_ + (base_ - high_) * (time - t_off_) / fall_;
+  }
+  return base_;
+}
+
+}  // namespace sttram::spice

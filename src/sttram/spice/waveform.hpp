@@ -1,0 +1,73 @@
+// Source waveforms for the circuit simulator.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+namespace sttram::spice {
+
+/// Time-dependent scalar driving a source (volts or amperes).
+class Waveform {
+ public:
+  virtual ~Waveform() = default;
+  [[nodiscard]] virtual double at(double time) const = 0;
+  [[nodiscard]] virtual std::unique_ptr<Waveform> clone() const = 0;
+  /// Times where the waveform has corners (slope discontinuities); used
+  /// as transient breakpoints.
+  [[nodiscard]] virtual std::vector<double> breakpoints() const {
+    return {};
+  }
+};
+
+/// Constant value.
+class DcWaveform final : public Waveform {
+ public:
+  explicit DcWaveform(double value) : value_(value) {}
+  [[nodiscard]] double at(double) const override { return value_; }
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<DcWaveform>(*this);
+  }
+
+ private:
+  double value_;
+};
+
+/// Piecewise-linear waveform through (time, value) points, clamped to the
+/// end values outside the covered range.  Times must be strictly
+/// increasing.
+class PwlWaveform final : public Waveform {
+ public:
+  PwlWaveform(std::vector<double> times, std::vector<double> values);
+  [[nodiscard]] double at(double time) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<PwlWaveform>(*this);
+  }
+  [[nodiscard]] std::vector<double> breakpoints() const override {
+    return times_;
+  }
+
+ private:
+  std::vector<double> times_;
+  std::vector<double> values_;
+};
+
+/// Single rectangular pulse with linear ramps:
+/// base until t_on, ramps to `high` over `rise`, holds until t_off, ramps
+/// back over `fall`.
+class PulseWaveform final : public Waveform {
+ public:
+  PulseWaveform(double base, double high, double t_on, double t_off,
+                double rise = 0.0, double fall = 0.0);
+  [[nodiscard]] double at(double time) const override;
+  [[nodiscard]] std::unique_ptr<Waveform> clone() const override {
+    return std::make_unique<PulseWaveform>(*this);
+  }
+  [[nodiscard]] std::vector<double> breakpoints() const override {
+    return {t_on_, t_on_ + rise_, t_off_, t_off_ + fall_};
+  }
+
+ private:
+  double base_, high_, t_on_, t_off_, rise_, fall_;
+};
+
+}  // namespace sttram::spice

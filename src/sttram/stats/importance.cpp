@@ -1,0 +1,100 @@
+#include "sttram/stats/importance.hpp"
+
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+#include "sttram/common/numeric.hpp"
+#include "sttram/stats/distributions.hpp"
+
+namespace sttram {
+
+ImportanceEstimate importance_sample(
+    std::uint64_t seed, std::size_t trials, const std::vector<double>& shift,
+    const std::function<bool(const std::vector<double>&)>& fails) {
+  require(trials > 0, "importance_sample: trials must be > 0");
+  require(!shift.empty(), "importance_sample: shift vector required");
+  const std::size_t dim = shift.size();
+  double shift_sq = 0.0;
+  for (const double s : shift) shift_sq += s * s;
+
+  const Xoshiro256 master(seed);
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  std::size_t hits = 0;
+  std::vector<double> z(dim);
+  for (std::size_t k = 0; k < trials; ++k) {
+    Xoshiro256 stream = master.fork(k);
+    double dot = 0.0;
+    for (std::size_t i = 0; i < dim; ++i) {
+      z[i] = shift[i] + sample_standard_normal(stream);
+      dot += shift[i] * z[i];
+    }
+    if (fails(z)) {
+      ++hits;
+      const double w = std::exp(-dot + 0.5 * shift_sq);
+      sum_w += w;
+      sum_w2 += w * w;
+    }
+  }
+  ImportanceEstimate e;
+  e.trials = trials;
+  e.hits = hits;
+  const double n = static_cast<double>(trials);
+  e.probability = sum_w / n;
+  const double var = std::max(0.0, sum_w2 / n - e.probability * e.probability);
+  e.std_error = std::sqrt(var / n);
+  e.relative_error =
+      e.probability > 0.0 ? e.std_error / e.probability : 0.0;
+  return e;
+}
+
+std::vector<double> design_point_on_gradient(
+    const std::function<double(const std::vector<double>&)>& g,
+    std::size_t dim, double max_radius) {
+  require(dim > 0, "design_point_on_gradient: dim must be > 0");
+  std::vector<double> origin(dim, 0.0);
+  const double g0 = g(origin);
+  require(g0 > 0.0,
+          "design_point_on_gradient: nominal point must pass (g(0) > 0)");
+
+  // Steepest-descent direction from a central finite difference.
+  std::vector<double> grad(dim, 0.0);
+  const double h = 1e-4;
+  double norm = 0.0;
+  for (std::size_t i = 0; i < dim; ++i) {
+    std::vector<double> zp = origin, zm = origin;
+    zp[i] = h;
+    zm[i] = -h;
+    grad[i] = (g(zp) - g(zm)) / (2.0 * h);
+    norm += grad[i] * grad[i];
+  }
+  norm = std::sqrt(norm);
+  if (norm == 0.0) return {};  // flat: no informative direction
+  std::vector<double> dir(dim);
+  for (std::size_t i = 0; i < dim; ++i) dir[i] = -grad[i] / norm;
+
+  const auto g_at = [&](double t) {
+    std::vector<double> z(dim);
+    for (std::size_t i = 0; i < dim; ++i) z[i] = t * dir[i];
+    return g(z);
+  };
+  // Bracket the first zero crossing along the ray.
+  double lo = 0.0;
+  double hi = 0.0;
+  bool bracketed = false;
+  for (double t = 0.5; t <= max_radius; t += 0.5) {
+    if (g_at(t) < 0.0) {
+      hi = t;
+      bracketed = true;
+      break;
+    }
+    lo = t;
+  }
+  if (!bracketed) return {};
+  const double t_star = brent(g_at, lo, hi, 1e-10);
+  std::vector<double> z(dim);
+  for (std::size_t i = 0; i < dim; ++i) z[i] = t_star * dir[i];
+  return z;
+}
+
+}  // namespace sttram

@@ -1,0 +1,54 @@
+#include "sttram/stats/monte_carlo.hpp"
+
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+
+RunningStats monte_carlo_stats(
+    std::uint64_t seed, std::size_t trials,
+    const std::function<double(Xoshiro256&)>& trial_fn) {
+  RunningStats stats;
+  const Xoshiro256 master(seed);
+  for (std::size_t i = 0; i < trials; ++i) {
+    Xoshiro256 stream = master.fork(i);
+    stats.add(trial_fn(stream));
+  }
+  return stats;
+}
+
+ProbabilityEstimate wilson_interval(std::size_t hits, std::size_t trials,
+                                    double z) {
+  require(trials > 0, "wilson_interval: trials must be > 0");
+  require(hits <= trials, "wilson_interval: hits must be <= trials");
+  ProbabilityEstimate e;
+  e.trials = trials;
+  e.hits = hits;
+  const double n = static_cast<double>(trials);
+  const double p = static_cast<double>(hits) / n;
+  e.p = p;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double center = (p + z2 / (2.0 * n)) / denom;
+  const double half =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  e.ci_lo = std::max(0.0, center - half);
+  e.ci_hi = std::min(1.0, center + half);
+  return e;
+}
+
+ProbabilityEstimate estimate_probability(
+    std::uint64_t seed, std::size_t trials,
+    const std::function<bool(Xoshiro256&)>& predicate) {
+  require(trials > 0, "estimate_probability: trials must be > 0");
+  std::size_t hits = 0;
+  const Xoshiro256 master(seed);
+  for (std::size_t i = 0; i < trials; ++i) {
+    Xoshiro256 stream = master.fork(i);
+    if (predicate(stream)) ++hits;
+  }
+  return wilson_interval(hits, trials);
+}
+
+}  // namespace sttram

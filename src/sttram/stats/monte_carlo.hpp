@@ -1,0 +1,53 @@
+// Generic deterministic Monte-Carlo driver.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "sttram/stats/rng.hpp"
+#include "sttram/stats/summary.hpp"
+
+namespace sttram {
+
+/// Runs `trials` independent trials of `trial_fn`, each with its own
+/// decorrelated RNG stream derived from `seed`, and returns all results.
+/// Trial i always sees the same stream regardless of how many trials are
+/// requested, so extending a run keeps earlier samples identical.
+template <typename T>
+std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
+                               const std::function<T(Xoshiro256&)>& trial_fn) {
+  std::vector<T> out;
+  out.reserve(trials);
+  const Xoshiro256 master(seed);
+  for (std::size_t i = 0; i < trials; ++i) {
+    Xoshiro256 stream = master.fork(i);
+    out.push_back(trial_fn(stream));
+  }
+  return out;
+}
+
+/// Convenience: runs scalar trials and reduces them into RunningStats.
+RunningStats monte_carlo_stats(
+    std::uint64_t seed, std::size_t trials,
+    const std::function<double(Xoshiro256&)>& trial_fn);
+
+/// Estimates P(predicate) with a Wilson 95% confidence interval.
+struct ProbabilityEstimate {
+  std::size_t trials = 0;
+  std::size_t hits = 0;
+  double p = 0.0;        ///< point estimate hits/trials
+  double ci_lo = 0.0;    ///< Wilson 95% lower bound
+  double ci_hi = 0.0;    ///< Wilson 95% upper bound
+};
+
+ProbabilityEstimate estimate_probability(
+    std::uint64_t seed, std::size_t trials,
+    const std::function<bool(Xoshiro256&)>& predicate);
+
+/// Wilson score interval for `hits` successes in `trials` Bernoulli draws.
+ProbabilityEstimate wilson_interval(std::size_t hits, std::size_t trials,
+                                    double z = 1.959963984540054);
+
+}  // namespace sttram

@@ -1,0 +1,78 @@
+// Streaming summary statistics, percentiles and histograms.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace sttram {
+
+/// Numerically stable (Welford) streaming mean/variance/min/max.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void add(double x);
+
+  [[nodiscard]] std::size_t count() const { return n_; }
+  [[nodiscard]] double mean() const;
+  /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+  [[nodiscard]] double variance() const;
+  [[nodiscard]] double stddev() const;
+  [[nodiscard]] double min() const;
+  [[nodiscard]] double max() const;
+  /// stddev / |mean| (coefficient of variation); 0 when mean == 0.
+  [[nodiscard]] double cv() const;
+
+  /// Merges another accumulator into this one (parallel reduction).
+  void merge(const RunningStats& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample using linear interpolation between order
+/// statistics (the "linear" / type-7 definition).  `q` in [0, 1].
+/// The input vector is copied; use percentile_inplace to avoid the copy.
+double percentile(std::vector<double> sample, double q);
+
+/// As percentile(), but partially sorts `sample` in place.
+double percentile_inplace(std::vector<double>& sample, double q);
+
+/// Fixed-width histogram over [lo, hi] with out-of-range counters.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t bins);
+
+  void add(double x);
+
+  [[nodiscard]] double lo() const { return lo_; }
+  [[nodiscard]] double hi() const { return hi_; }
+  [[nodiscard]] std::size_t bin_count() const { return counts_.size(); }
+  [[nodiscard]] std::size_t count(std::size_t bin) const;
+  [[nodiscard]] std::size_t underflow() const { return underflow_; }
+  [[nodiscard]] std::size_t overflow() const { return overflow_; }
+  [[nodiscard]] std::size_t total() const { return total_; }
+  /// Center x-value of a bin.
+  [[nodiscard]] double bin_center(std::size_t bin) const;
+
+  /// Renders an ASCII bar chart, `width` characters for the tallest bin.
+  [[nodiscard]] std::string to_ascii(int width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::size_t> counts_;
+  std::size_t underflow_ = 0;
+  std::size_t overflow_ = 0;
+  std::size_t total_ = 0;
+};
+
+/// Pearson correlation of two equal-length samples; 0 for degenerate input.
+double pearson_correlation(const std::vector<double>& xs,
+                           const std::vector<double>& ys);
+
+}  // namespace sttram

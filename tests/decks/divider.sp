@@ -1,0 +1,5 @@
+resistive divider regression deck
+V1 in 0 10
+R1 in mid 6k
+R2 mid 0 4k
+.end

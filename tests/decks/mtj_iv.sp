@@ -1,0 +1,4 @@
+1t1j iv sweep of the calibrated junction
+Iread 0 bl 0
+Jmtj bl 0 MTJ state=ap
+.dc Iread 10u 200u 10u

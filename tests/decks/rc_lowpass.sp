@@ -1,0 +1,5 @@
+rc low-pass step response
+V1 in 0 PWL(0 0 1n 0 1.001n 1)
+R1 in out 1k
+C1 out 0 1p
+.tran 10p 8n trap

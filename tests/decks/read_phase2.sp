@@ -1,0 +1,9 @@
+nondestructive read, second phase (I2 through the cell + divider)
+I1 0 bl 200u
+Jmtj bl mid MTJ state=ap
+M1 mid g 0 NMOS beta=1.454m vth=0.45 lambda=0
+Vg g 0 1.2
+Rdiv1 bl vbo 10meg
+Rdiv2 vbo 0 10meg
+Cbl bl 0 192f
+.tran 25p 10n adaptive=1e-4

@@ -1,0 +1,191 @@
+// Calibration tests: the reconstructed device model must reproduce every
+// derived number preserved in the paper (DESIGN.md §2).  These tests are
+// the ground truth of the whole reproduction — if they fail, every bench
+// is suspect.
+#include <gtest/gtest.h>
+
+#include "sttram/cell/access_transistor.hpp"
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/device/ri_curve.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/sense/robustness.hpp"
+
+namespace sttram {
+namespace {
+
+using namespace sttram::literals;
+
+class CalibrationTest : public ::testing::Test {
+ protected:
+  MtjParams mtj = MtjParams::paper_calibrated();
+  Ohm r_t{917.0};
+  SelfRefConfig config{};  // i_max = 200 uA, alpha = 0.5
+};
+
+TEST_F(CalibrationTest, TableI_StaticResistances) {
+  const LinearRiModel m(mtj);
+  EXPECT_DOUBLE_EQ(m.resistance(MtjState::kParallel, Ampere(0)).value(),
+                   1220.0);
+  EXPECT_DOUBLE_EQ(m.resistance(MtjState::kAntiParallel, Ampere(0)).value(),
+                   2500.0);
+  // Droops at I_max.
+  EXPECT_DOUBLE_EQ(
+      m.droop(MtjState::kParallel, Ampere(0), config.i_max).value(), 10.0);
+  EXPECT_DOUBLE_EQ(
+      m.droop(MtjState::kAntiParallel, Ampere(0), config.i_max).value(),
+      600.0);
+}
+
+TEST_F(CalibrationTest, TmrExceeds100Percent) {
+  // MgO junctions have TMR > 100 % (the paper's premise).
+  const LinearRiModel m(mtj);
+  EXPECT_GT(m.tmr(Ampere(0)), 1.0);
+  EXPECT_NEAR(m.tmr(Ampere(0)), 1.049, 0.001);
+}
+
+TEST_F(CalibrationTest, TableI_ConventionalSchemeRow) {
+  // At the paper's beta = 1.22: dR_H = 108.2 Ohm, dR_L = 1.8 Ohm between
+  // the two read currents.
+  const LinearRiModel m(mtj);
+  const double beta = 1.22;
+  const Ampere i1 = config.i_max / beta;
+  const Ohm dh = m.droop(MtjState::kAntiParallel, i1, config.i_max);
+  const Ohm dl = m.droop(MtjState::kParallel, i1, config.i_max);
+  EXPECT_NEAR(dh.value(), 108.2, 0.1);
+  EXPECT_NEAR(dl.value(), 1.80, 0.01);
+}
+
+TEST_F(CalibrationTest, TableI_NondestructiveSchemeRow) {
+  // At the paper's beta = 2.13: dR_H ~= 318 Ohm, dR_L = 5.3 Ohm.
+  const LinearRiModel m(mtj);
+  const double beta = 2.13;
+  const Ampere i1 = config.i_max / beta;
+  EXPECT_NEAR(m.droop(MtjState::kAntiParallel, i1, config.i_max).value(),
+              318.3, 0.5);
+  EXPECT_NEAR(m.droop(MtjState::kParallel, i1, config.i_max).value(), 5.31,
+              0.01);
+}
+
+TEST_F(CalibrationTest, PaperBetaConventional) {
+  // The paper's Eq. (5) linearization gives beta = 1.22.
+  const DestructiveSelfReference scheme(mtj, r_t, config);
+  EXPECT_NEAR(scheme.paper_beta(), 1.2197, 0.0005);
+}
+
+TEST_F(CalibrationTest, PaperBetaNondestructive) {
+  // The paper's Eq. (10) quadratic gives beta = 2.13 (Table I).
+  const NondestructiveSelfReference scheme(mtj, r_t, config);
+  EXPECT_NEAR(scheme.paper_beta(), 2.131, 0.002);
+}
+
+TEST_F(CalibrationTest, ConventionalMaxMarginAtPaperBeta) {
+  // Table I: "Max. Sense Margin 76.6 mV" for the conventional
+  // self-reference scheme at beta = 1.22 (the larger of SM0/SM1).
+  const DestructiveSelfReference scheme(mtj, r_t, config);
+  const SenseMargins m = scheme.margins(1.22);
+  EXPECT_NEAR(m.max().value(), 76.6e-3, 0.5e-3);
+  EXPECT_GT(m.min().value(), 0.0);
+}
+
+TEST_F(CalibrationTest, NondestructiveMaxMarginAtOptimum) {
+  // Table I: "Max. Sense Margin 12.1 mV" for the nondestructive scheme.
+  const NondestructiveSelfReference scheme(mtj, r_t, config);
+  const double beta = scheme.paper_beta();
+  const SenseMargins m = scheme.margins(beta);
+  // Equal margins at the optimum, ~12.6 mV on the calibrated model
+  // (paper: 12.1 mV; within 5 %).
+  EXPECT_NEAR(m.sm0.value(), m.sm1.value(), 0.05e-3);
+  EXPECT_NEAR(m.min().value(), 12.1e-3, 0.7e-3);
+}
+
+TEST_F(CalibrationTest, ExactEqualMarginOptima) {
+  const DestructiveSelfReference d(mtj, r_t, config);
+  EXPECT_NEAR(d.optimal_beta(), 1.1846, 0.001);
+  const NondestructiveSelfReference n(mtj, r_t, config);
+  // For the linear law the paper's Eq. (10) *is* the exact optimum.
+  EXPECT_NEAR(n.optimal_beta(), n.paper_beta(), 1e-6);
+}
+
+TEST_F(CalibrationTest, TableII_DeltaRWindowNondestructive) {
+  // Paper: +-130 Ohm = 14.2 % of R_T at beta = 2.13.
+  const NondestructiveSelfReference scheme(mtj, r_t, config);
+  const Window paper = scheme.paper_delta_r_window(2.13);
+  ASSERT_TRUE(paper.valid);
+  EXPECT_NEAR(paper.hi, 130.0, 2.0);
+  EXPECT_NEAR(paper.lo, -130.0, 2.0);
+  // Exact margin-positivity window: (-124.8, +127.0) Ohm.
+  const Window exact = delta_r_window(scheme, 2.13);
+  ASSERT_TRUE(exact.valid);
+  EXPECT_NEAR(exact.hi, 127.0, 2.0);
+  EXPECT_NEAR(exact.lo, -124.8, 2.0);
+  // "14.2 % of R_T".
+  EXPECT_NEAR(paper.hi / r_t.value(), 0.142, 0.003);
+}
+
+TEST_F(CalibrationTest, TableII_DeltaRWindowConventional) {
+  // Paper's Eq. (18) closed form: +-468 Ohm at beta = 1.22.
+  const DestructiveSelfReference scheme(mtj, r_t, config);
+  const Window paper = scheme.paper_delta_r_window(1.22);
+  ASSERT_TRUE(paper.valid);
+  EXPECT_NEAR(paper.hi, 468.0, 1.0);
+  // Exact positivity window of the calibrated model: (-382, +270) Ohm.
+  const Window exact = delta_r_window(scheme, 1.22);
+  ASSERT_TRUE(exact.valid);
+  EXPECT_NEAR(exact.hi, 270.0, 3.0);
+  EXPECT_NEAR(exact.lo, -382.0, 3.0);
+  // The conventional scheme tolerates several times more dR than the
+  // nondestructive one — the paper's qualitative robustness conclusion.
+  const NondestructiveSelfReference nondes(mtj, r_t, config);
+  const Window nondes_w = delta_r_window(nondes, 2.13);
+  EXPECT_GT(exact.width(), 2.0 * nondes_w.width());
+}
+
+TEST_F(CalibrationTest, TableII_AlphaWindow) {
+  // Paper: -5.71 % .. +4.13 % at the designed point (we land within
+  // ~0.5 percentage points; see DESIGN.md §2).
+  const NondestructiveSelfReference scheme(mtj, r_t, config);
+  const Window w = scheme.alpha_deviation_window(2.13);
+  ASSERT_TRUE(w.valid);
+  EXPECT_NEAR(w.hi, 0.0450, 0.005);
+  EXPECT_NEAR(w.lo, -0.0587, 0.005);
+  // Agreement between the closed form and the numeric sweep.
+  const Window numeric = alpha_window(scheme, 2.13);
+  ASSERT_TRUE(numeric.valid);
+  EXPECT_NEAR(numeric.hi, w.hi, 1e-6);
+  EXPECT_NEAR(numeric.lo, w.lo, 1e-6);
+}
+
+TEST_F(CalibrationTest, ValidBetaWindows) {
+  // Fig. 6: each scheme has a finite valid-beta window; the
+  // nondestructive window sits at larger beta (around 2.13) and the
+  // conventional one just above 1.
+  const DestructiveSelfReference d(mtj, r_t, config);
+  const Window wd = beta_window(d);
+  ASSERT_TRUE(wd.valid);
+  EXPECT_NEAR(wd.lo, 1.0, 0.01);
+  EXPECT_NEAR(wd.hi, 1.4058, 0.01);
+
+  const NondestructiveSelfReference n(mtj, r_t, config);
+  const Window wn = beta_window(n);
+  ASSERT_TRUE(wn.valid);
+  EXPECT_TRUE(wn.contains(2.13));
+  EXPECT_GT(wn.lo, 1.5);  // scheme needs alpha*beta > 1
+}
+
+TEST_F(CalibrationTest, ConventionalSensingNominalMargins) {
+  // Conventional referenced sensing on the nominal device: margins are
+  // large (~69 mV) — it is variation, not the nominal design, that kills
+  // it (Fig. 11).
+  const ConventionalSensing conv(mtj, r_t, config.i_max);
+  const SenseMargins m = conv.margins(conv.midpoint_reference());
+  EXPECT_NEAR(m.sm0.value(), m.sm1.value(), 1e-12);
+  EXPECT_NEAR(m.sm0.value(), 69.0e-3, 1.0e-3);
+}
+
+TEST_F(CalibrationTest, ReadCurrentIsFortyPercentOfSwitching) {
+  // I_max = 200 uA = 40 % of the ~500 uA switching current at 4 ns.
+  EXPECT_DOUBLE_EQ(config.i_max.value() / mtj.i_critical.value(), 0.4);
+}
+
+}  // namespace
+}  // namespace sttram

@@ -1,0 +1,154 @@
+// Tests for sttram/common: units, numeric utilities, formatting.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+#include "sttram/common/format.hpp"
+#include "sttram/common/numeric.hpp"
+#include "sttram/common/units.hpp"
+
+namespace sttram {
+namespace {
+
+using namespace sttram::literals;
+
+TEST(Units, OhmsLawDimensions) {
+  const Ampere i = 200.0_uA;
+  const Ohm r = 2500.0_Ohm;
+  const Volt v = i * r;
+  EXPECT_DOUBLE_EQ(v.value(), 0.5);
+}
+
+TEST(Units, EnergyFromPower) {
+  const Ampere i = 1.0_mA;
+  const Ohm r = 1.0_kOhm;
+  const Second t = 4.0_ns;
+  const Joule e = i * i * r * t;
+  EXPECT_DOUBLE_EQ(e.value(), 1e-3 * 1e-3 * 1e3 * 4e-9);
+}
+
+TEST(Units, RatioOfSameDimensionIsPlainDouble) {
+  const double ratio = 600.0_Ohm / 200.0_Ohm;
+  EXPECT_DOUBLE_EQ(ratio, 3.0);
+}
+
+TEST(Units, ComparisonAndAbs) {
+  EXPECT_LT(1.0_mV, 2.0_mV);
+  EXPECT_EQ(abs(Volt(-0.25)), Volt(0.25));
+  EXPECT_EQ(min(3.0_Ohm, 4.0_Ohm), 3.0_Ohm);
+  EXPECT_EQ(max(3.0_Ohm, 4.0_Ohm), 4.0_Ohm);
+}
+
+TEST(Units, CapacitorChargeTime) {
+  // tau = R*C has the dimension of time.
+  const Second tau = Second((1.0_kOhm).value() * (1.0_pF).value());
+  EXPECT_DOUBLE_EQ(tau.value(), 1e-9);
+}
+
+TEST(Quadratic, TwoRealRoots) {
+  const QuadraticRoots r = solve_quadratic(1.0, -3.0, 2.0);
+  ASSERT_EQ(r.count, 2);
+  EXPECT_DOUBLE_EQ(r.lo, 1.0);
+  EXPECT_DOUBLE_EQ(r.hi, 2.0);
+}
+
+TEST(Quadratic, NoRealRoots) {
+  EXPECT_EQ(solve_quadratic(1.0, 0.0, 1.0).count, 0);
+}
+
+TEST(Quadratic, LinearDegenerate) {
+  const QuadraticRoots r = solve_quadratic(0.0, 2.0, -4.0);
+  ASSERT_EQ(r.count, 1);
+  EXPECT_DOUBLE_EQ(r.lo, 2.0);
+}
+
+TEST(Quadratic, StableForSmallRoot) {
+  // x^2 - 1e8 x + 1 = 0 has roots ~1e8 and ~1e-8; naive formula loses the
+  // small one to cancellation.
+  const QuadraticRoots r = solve_quadratic(1.0, -1e8, 1.0);
+  ASSERT_EQ(r.count, 2);
+  EXPECT_NEAR(r.lo, 1e-8, 1e-14);
+  EXPECT_NEAR(r.hi, 1e8, 1.0);
+}
+
+TEST(Bisect, FindsRoot) {
+  const double root =
+      bisect([](double x) { return x * x - 2.0; }, 0.0, 2.0, 1e-12);
+  EXPECT_NEAR(root, std::sqrt(2.0), 1e-10);
+}
+
+TEST(Bisect, RejectsNonBracketing) {
+  EXPECT_THROW(bisect([](double x) { return x * x + 1.0; }, -1.0, 1.0),
+               NumericError);
+}
+
+TEST(Brent, FindsRootFasterThanTolerance) {
+  const double root =
+      brent([](double x) { return std::cos(x) - x; }, 0.0, 1.0, 1e-14);
+  EXPECT_NEAR(std::cos(root), root, 1e-12);
+}
+
+TEST(Brent, EndpointRoot) {
+  EXPECT_DOUBLE_EQ(brent([](double x) { return x; }, 0.0, 1.0), 0.0);
+}
+
+TEST(FindAllRoots, FindsEveryCrossing) {
+  const auto roots = find_all_roots(
+      [](double x) { return std::sin(x); }, 0.5, 10.0, 400);
+  ASSERT_EQ(roots.size(), 3u);
+  EXPECT_NEAR(roots[0], M_PI, 1e-8);
+  EXPECT_NEAR(roots[1], 2.0 * M_PI, 1e-8);
+  EXPECT_NEAR(roots[2], 3.0 * M_PI, 1e-8);
+}
+
+TEST(PiecewiseLinear, InterpolatesAndClamps) {
+  const PiecewiseLinear f({0.0, 1.0, 2.0}, {0.0, 10.0, 0.0});
+  EXPECT_DOUBLE_EQ(f(0.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(1.5), 5.0);
+  EXPECT_DOUBLE_EQ(f(-1.0), 0.0);   // clamped
+  EXPECT_DOUBLE_EQ(f(3.0), 0.0);    // clamped
+  EXPECT_DOUBLE_EQ(f.derivative(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(f.derivative(1.5), -10.0);
+  EXPECT_DOUBLE_EQ(f.derivative(5.0), 0.0);
+}
+
+TEST(PiecewiseLinear, RejectsBadInput) {
+  EXPECT_THROW(PiecewiseLinear({0.0, 0.0}, {1.0, 2.0}), InvalidArgument);
+  EXPECT_THROW(PiecewiseLinear({0.0}, {1.0}), InvalidArgument);
+  EXPECT_THROW(PiecewiseLinear({0.0, 1.0}, {1.0}), InvalidArgument);
+}
+
+TEST(Linspace, CoversRangeInclusive) {
+  const auto v = linspace(0.0, 1.0, 4);
+  ASSERT_EQ(v.size(), 5u);
+  EXPECT_DOUBLE_EQ(v.front(), 0.0);
+  EXPECT_DOUBLE_EQ(v.back(), 1.0);
+  EXPECT_DOUBLE_EQ(v[2], 0.5);
+}
+
+TEST(ApproxEqual, RelativeAndAbsolute) {
+  EXPECT_TRUE(approx_equal(1.0, 1.0 + 1e-12));
+  EXPECT_FALSE(approx_equal(1.0, 1.1));
+  EXPECT_TRUE(approx_equal(0.0, 1e-12, 1e-9, 1e-9));
+}
+
+TEST(Format, EngineeringNotation) {
+  EXPECT_EQ(format_si(200e-6, "A"), "200 uA");
+  EXPECT_EQ(format_si(2.5e3, "Ohm"), "2.5 kOhm");
+  EXPECT_EQ(format_si(0.0766, "V"), "76.6 mV");
+  EXPECT_EQ(format_si(0.0, "V"), "0 V");
+}
+
+TEST(Format, Percent) {
+  EXPECT_EQ(format_percent(0.0413), "4.13 %");
+  EXPECT_EQ(format_percent(-0.0571), "-5.71 %");
+}
+
+TEST(Require, ThrowsInvalidArgument) {
+  EXPECT_NO_THROW(require(true, "ok"));
+  EXPECT_THROW(require(false, "boom"), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace sttram

@@ -1,0 +1,81 @@
+// Regression decks: real netlist files under tests/decks/ parsed and
+// simulated end-to-end, with physics-level assertions per deck.  Guards
+// the parser + engine combination against regressions the unit tests
+// might miss.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/device/ri_curve.hpp"
+#include "sttram/spice/analysis.hpp"
+#include "sttram/spice/parser.hpp"
+
+#ifndef STTRAM_DECK_DIR
+#define STTRAM_DECK_DIR "tests/decks"
+#endif
+
+namespace sttram {
+namespace {
+
+spice::ParsedDeck load(const std::string& name) {
+  const std::string path = std::string(STTRAM_DECK_DIR) + "/" + name;
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "missing deck " << path;
+  return spice::parse_spice_deck(in);
+}
+
+TEST(Decks, Divider) {
+  auto deck = load("divider.sp");
+  EXPECT_EQ(deck.title, "resistive divider regression deck");
+  const auto sol = solve_dc(deck.circuit);
+  EXPECT_NEAR(sol.voltage(deck.circuit.node("mid")), 4.0, 1e-6);
+}
+
+TEST(Decks, RcLowpass) {
+  auto deck = load("rc_lowpass.sp");
+  ASSERT_TRUE(deck.tran.has_value());
+  const auto waves = run_transient(deck.circuit, *deck.tran);
+  const auto out = deck.circuit.node("out");
+  // tau = 1 ns: check the 1-tau point and the final value.
+  EXPECT_NEAR(waves.voltage_at(out, 2.001e-9), 1.0 - std::exp(-1.0), 5e-3);
+  EXPECT_NEAR(waves.final_voltage(out), 1.0, 1e-3);
+}
+
+TEST(Decks, ReadPhaseTwo) {
+  auto deck = load("read_phase2.sp");
+  ASSERT_TRUE(deck.tran.has_value());
+  EXPECT_TRUE(deck.tran->adaptive);
+  const auto waves = run_transient(deck.circuit, *deck.tran);
+  const auto bl = deck.circuit.node("bl");
+  const auto vbo = deck.circuit.node("vbo");
+  // V_BL2 = I2 (R_H2 + R_T(I2)) with the level-1 NMOS at ~1070 Ohm.
+  const double v_bl = waves.final_voltage(bl);
+  EXPECT_GT(v_bl, 200e-6 * (1900.0 + 950.0));
+  EXPECT_LT(v_bl, 200e-6 * (1900.0 + 1250.0));
+  // The symmetric 10M/10M divider halves it.
+  EXPECT_NEAR(waves.final_voltage(vbo), 0.5 * v_bl, 0.01 * v_bl);
+}
+
+TEST(Decks, MtjIvSweep) {
+  auto deck = load("mtj_iv.sp");
+  ASSERT_TRUE(deck.dc.has_value());
+  ASSERT_EQ(deck.dc->values.size(), 20u);
+  const auto pts =
+      dc_sweep(deck.circuit, deck.dc->source, deck.dc->values);
+  const LinearRiModel model(MtjParams::paper_calibrated());
+  const auto bl = deck.circuit.node("bl");
+  for (std::size_t k = 0; k < pts.size(); ++k) {
+    const double i = deck.dc->values[k];
+    const double r = pts[k].voltage(bl) / i;
+    EXPECT_NEAR(
+        r,
+        model.resistance(MtjState::kAntiParallel, Ampere(i)).value(),
+        2.0)
+        << "I=" << i;
+  }
+}
+
+}  // namespace
+}  // namespace sttram

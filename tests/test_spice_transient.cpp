@@ -1,0 +1,155 @@
+// Tests of the transient integrators: trapezoidal accuracy order,
+// adaptive step control, breakpoint handling, and history consistency.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "sttram/spice/analysis.hpp"
+#include "sttram/spice/circuit.hpp"
+#include "sttram/spice/elements.hpp"
+
+namespace sttram {
+namespace {
+
+using spice::Capacitor;
+using spice::Circuit;
+using spice::Integrator;
+using spice::NodeId;
+using spice::PwlWaveform;
+using spice::Resistor;
+using spice::TimedSwitch;
+using spice::TransientOptions;
+using spice::VoltageSource;
+
+/// RC charging circuit with tau = 1 ns, step at t = 0+ via initial
+/// condition mismatch: source at 1 V from t=0, cap starts at DC (1 V)...
+/// so instead drive with a PWL step shortly after t=0.
+struct RcFixture {
+  Circuit c;
+  NodeId out;
+  double t_step = 0.2e-9;
+
+  RcFixture() {
+    const NodeId in = c.node("in");
+    out = c.node("out");
+    c.add<VoltageSource>(
+        "V", in, Circuit::ground(),
+        std::make_unique<PwlWaveform>(
+            std::vector<double>{0.0, t_step, t_step + 1e-12},
+            std::vector<double>{0.0, 0.0, 1.0}));
+    c.add<Resistor>("R", in, out, 1000.0);
+    c.add<Capacitor>("C", out, Circuit::ground(), 1e-12);
+  }
+
+  /// Max |v(t) - exact| over the charging window for a given config.
+  double max_error(Integrator method, double dt, bool adaptive = false,
+                   double lte = 1e-4) {
+    TransientOptions opt;
+    opt.t_stop = 6e-9;
+    opt.dt = dt;
+    opt.integrator = method;
+    opt.adaptive = adaptive;
+    opt.lte_tol = lte;
+    const auto waves = run_transient(c, opt);
+    double err = 0.0;
+    for (double t = t_step + 0.3e-9; t < 6e-9; t += 0.1e-9) {
+      const double exact = 1.0 - std::exp(-(t - t_step - 1e-12) / 1e-9);
+      err = std::max(err, std::fabs(waves.voltage_at(out, t) - exact));
+    }
+    return err;
+  }
+};
+
+TEST(TransientIntegrators, TrapezoidalBeatsBackwardEulerAtSameStep) {
+  RcFixture f1, f2;
+  const double dt = 0.1e-9;
+  const double err_be = f1.max_error(Integrator::kBackwardEuler, dt);
+  const double err_tr = f2.max_error(Integrator::kTrapezoidal, dt);
+  EXPECT_LT(err_tr, 0.4 * err_be);
+  EXPECT_LT(err_tr, 2e-3);
+}
+
+TEST(TransientIntegrators, BackwardEulerIsFirstOrder) {
+  RcFixture a, b;
+  const double e1 = a.max_error(Integrator::kBackwardEuler, 0.2e-9);
+  const double e2 = b.max_error(Integrator::kBackwardEuler, 0.1e-9);
+  // Halving dt should roughly halve the error (order 1).
+  EXPECT_NEAR(e1 / e2, 2.0, 0.7);
+}
+
+TEST(TransientIntegrators, TrapezoidalIsSecondOrder) {
+  RcFixture a, b;
+  const double e1 = a.max_error(Integrator::kTrapezoidal, 0.4e-9);
+  const double e2 = b.max_error(Integrator::kTrapezoidal, 0.2e-9);
+  // Halving dt should cut the error ~4x (order 2).
+  EXPECT_GT(e1 / e2, 2.5);
+}
+
+TEST(TransientIntegrators, AdaptiveMeetsToleranceWithFewerSteps) {
+  RcFixture fixed_f, adaptive_f;
+  TransientOptions fixed;
+  fixed.t_stop = 6e-9;
+  fixed.dt = 0.02e-9;
+  fixed.integrator = Integrator::kTrapezoidal;
+  const auto waves_fixed = run_transient(fixed_f.c, fixed);
+
+  TransientOptions ad = fixed;
+  ad.adaptive = true;
+  ad.dt = 0.02e-9;
+  ad.lte_tol = 5e-4;
+  const auto waves_ad = run_transient(adaptive_f.c, ad);
+  // The adaptive run takes meaningfully fewer samples...
+  EXPECT_LT(waves_ad.sample_count(), waves_fixed.sample_count() * 3 / 4);
+  // ...while staying accurate.
+  EXPECT_LT(adaptive_f.max_error(Integrator::kTrapezoidal, 0.02e-9, true,
+                                 5e-4),
+            5e-3);
+}
+
+TEST(TransientIntegrators, BreakpointsAreHitExactly) {
+  // A switch event at an "awkward" time must appear as a sample even
+  // with a coarse step, so the event is not smeared.
+  Circuit c;
+  const NodeId a = c.node("a");
+  c.add<VoltageSource>("V", a, Circuit::ground(), 1.0);
+  const NodeId b = c.node("b");
+  c.add<TimedSwitch>("S", a, b, false,
+                     std::vector<std::pair<double, bool>>{{1.37e-9, true}},
+                     100.0);
+  c.add<Resistor>("RL", b, Circuit::ground(), 1000.0);
+  TransientOptions opt;
+  opt.t_stop = 3e-9;
+  opt.dt = 0.5e-9;  // would step right past 1.37 ns
+  const auto waves = run_transient(c, opt);
+  bool hit = false;
+  for (const double t : waves.times()) {
+    if (std::fabs(t - 1.37e-9) < 1e-15) hit = true;
+  }
+  EXPECT_TRUE(hit);
+  // Before the event: open; after: divider of r_on vs load.
+  EXPECT_NEAR(waves.voltage_at(b, 1.3e-9), 0.0, 1e-3);
+  EXPECT_NEAR(waves.voltage_at(b, 2.9e-9), 1000.0 / 1100.0, 1e-3);
+}
+
+TEST(TransientIntegrators, CapacitorHistoryResets) {
+  Capacitor cap("c", 0, spice::kGround, 1e-12);
+  EXPECT_DOUBLE_EQ(cap.history_current(), 0.0);
+  cap.reset_history();
+  EXPECT_DOUBLE_EQ(cap.history_current(), 0.0);
+}
+
+TEST(TransientIntegrators, TrapezoidalMatchesBackwardEulerSteadyState) {
+  RcFixture be_f, tr_f;
+  TransientOptions opt;
+  opt.t_stop = 10e-9;
+  opt.dt = 0.05e-9;
+  opt.integrator = Integrator::kBackwardEuler;
+  const auto be = run_transient(be_f.c, opt);
+  opt.integrator = Integrator::kTrapezoidal;
+  const auto tr = run_transient(tr_f.c, opt);
+  EXPECT_NEAR(be.final_voltage(be_f.out), tr.final_voltage(tr_f.out), 5e-5);
+  EXPECT_NEAR(tr.final_voltage(tr_f.out), 1.0, 1e-4);
+}
+
+}  // namespace
+}  // namespace sttram
