@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bitline.dir/bench_ablation_bitline.cpp.o"
+  "CMakeFiles/bench_ablation_bitline.dir/bench_ablation_bitline.cpp.o.d"
+  "bench_ablation_bitline"
+  "bench_ablation_bitline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bitline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

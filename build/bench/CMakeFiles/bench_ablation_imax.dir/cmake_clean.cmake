@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_imax.dir/bench_ablation_imax.cpp.o"
+  "CMakeFiles/bench_ablation_imax.dir/bench_ablation_imax.cpp.o.d"
+  "bench_ablation_imax"
+  "bench_ablation_imax.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_imax.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

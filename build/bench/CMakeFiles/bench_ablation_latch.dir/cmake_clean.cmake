@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_latch.dir/bench_ablation_latch.cpp.o"
+  "CMakeFiles/bench_ablation_latch.dir/bench_ablation_latch.cpp.o.d"
+  "bench_ablation_latch"
+  "bench_ablation_latch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_latch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_rimodel.dir/bench_ablation_rimodel.cpp.o"
+  "CMakeFiles/bench_ablation_rimodel.dir/bench_ablation_rimodel.cpp.o.d"
+  "bench_ablation_rimodel"
+  "bench_ablation_rimodel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_rimodel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crossval_spice.dir/bench_crossval_spice.cpp.o"
+  "CMakeFiles/bench_crossval_spice.dir/bench_crossval_spice.cpp.o.d"
+  "bench_crossval_spice"
+  "bench_crossval_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crossval_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

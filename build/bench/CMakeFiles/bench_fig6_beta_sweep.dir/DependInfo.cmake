@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig6_beta_sweep.cpp" "bench/CMakeFiles/bench_fig6_beta_sweep.dir/bench_fig6_beta_sweep.cpp.o" "gcc" "bench/CMakeFiles/bench_fig6_beta_sweep.dir/bench_fig6_beta_sweep.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/stats/CMakeFiles/sttram_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/device/CMakeFiles/sttram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/cell/CMakeFiles/sttram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/spice/CMakeFiles/sttram_spice.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/sense/CMakeFiles/sttram_sense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/sim/CMakeFiles/sttram_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/io/CMakeFiles/sttram_io.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

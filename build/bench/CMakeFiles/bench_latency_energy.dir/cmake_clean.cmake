@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_latency_energy.dir/bench_latency_energy.cpp.o"
+  "CMakeFiles/bench_latency_energy.dir/bench_latency_energy.cpp.o.d"
+  "bench_latency_energy"
+  "bench_latency_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_latency_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_refcell.dir/bench_refcell.cpp.o"
+  "CMakeFiles/bench_refcell.dir/bench_refcell.cpp.o.d"
+  "bench_refcell"
+  "bench_refcell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_refcell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

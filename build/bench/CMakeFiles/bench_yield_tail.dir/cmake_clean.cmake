@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_yield_tail.dir/bench_yield_tail.cpp.o"
+  "CMakeFiles/bench_yield_tail.dir/bench_yield_tail.cpp.o.d"
+  "bench_yield_tail"
+  "bench_yield_tail.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_yield_tail.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/make_artifacts.dir/make_artifacts.cpp.o"
+  "CMakeFiles/make_artifacts.dir/make_artifacts.cpp.o.d"
+  "make_artifacts"
+  "make_artifacts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/make_artifacts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

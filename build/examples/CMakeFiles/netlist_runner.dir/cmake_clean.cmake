@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/netlist_runner.dir/netlist_runner.cpp.o"
+  "CMakeFiles/netlist_runner.dir/netlist_runner.cpp.o.d"
+  "netlist_runner"
+  "netlist_runner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/netlist_runner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

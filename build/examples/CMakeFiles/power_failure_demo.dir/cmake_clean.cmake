@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_failure_demo.dir/power_failure_demo.cpp.o"
+  "CMakeFiles/power_failure_demo.dir/power_failure_demo.cpp.o.d"
+  "power_failure_demo"
+  "power_failure_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_failure_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_cli.dir/sttram_cli.cpp.o"
+  "CMakeFiles/sttram_cli.dir/sttram_cli.cpp.o.d"
+  "sttram_cli"
+  "sttram_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transient_read.dir/transient_read.cpp.o"
+  "CMakeFiles/transient_read.dir/transient_read.cpp.o.d"
+  "transient_read"
+  "transient_read.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transient_read.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

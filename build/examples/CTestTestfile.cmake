@@ -1,0 +1,28 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;18;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_yield_analysis "/root/repo/build/examples/yield_analysis" "0.06")
+set_tests_properties(example_yield_analysis PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;19;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_design_explorer "/root/repo/build/examples/design_explorer")
+set_tests_properties(example_design_explorer PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;20;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_transient_read "/root/repo/build/examples/transient_read" "1")
+set_tests_properties(example_transient_read PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_power_failure "/root/repo/build/examples/power_failure_demo")
+set_tests_properties(example_power_failure PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_march_test "/root/repo/build/examples/march_test" "0.09")
+set_tests_properties(example_march_test PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_margins "/root/repo/build/examples/sttram_cli" "margins")
+set_tests_properties(example_cli_margins PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_design "/root/repo/build/examples/sttram_cli" "design")
+set_tests_properties(example_cli_design PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_yield_json "/root/repo/build/examples/sttram_cli" "yield" "32" "32" "--json")
+set_tests_properties(example_cli_yield_json PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_cli_read "/root/repo/build/examples/sttram_cli" "read" "1")
+set_tests_properties(example_cli_read PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_make_artifacts "/root/repo/build/examples/make_artifacts" "/root/repo/build/artifacts_test")
+set_tests_properties(example_make_artifacts PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;29;add_test;/root/repo/examples/CMakeLists.txt;0;")

@@ -1,0 +1,14 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("sttram/common")
+subdirs("sttram/stats")
+subdirs("sttram/device")
+subdirs("sttram/cell")
+subdirs("sttram/spice")
+subdirs("sttram/sense")
+subdirs("sttram/sim")
+subdirs("sttram/io")

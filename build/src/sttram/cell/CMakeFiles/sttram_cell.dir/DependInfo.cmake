@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/cell/access_transistor.cpp" "src/sttram/cell/CMakeFiles/sttram_cell.dir/access_transistor.cpp.o" "gcc" "src/sttram/cell/CMakeFiles/sttram_cell.dir/access_transistor.cpp.o.d"
+  "/root/repo/src/sttram/cell/array.cpp" "src/sttram/cell/CMakeFiles/sttram_cell.dir/array.cpp.o" "gcc" "src/sttram/cell/CMakeFiles/sttram_cell.dir/array.cpp.o.d"
+  "/root/repo/src/sttram/cell/bitline.cpp" "src/sttram/cell/CMakeFiles/sttram_cell.dir/bitline.cpp.o" "gcc" "src/sttram/cell/CMakeFiles/sttram_cell.dir/bitline.cpp.o.d"
+  "/root/repo/src/sttram/cell/cell.cpp" "src/sttram/cell/CMakeFiles/sttram_cell.dir/cell.cpp.o" "gcc" "src/sttram/cell/CMakeFiles/sttram_cell.dir/cell.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/device/CMakeFiles/sttram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/stats/CMakeFiles/sttram_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_cell.dir/access_transistor.cpp.o"
+  "CMakeFiles/sttram_cell.dir/access_transistor.cpp.o.d"
+  "CMakeFiles/sttram_cell.dir/array.cpp.o"
+  "CMakeFiles/sttram_cell.dir/array.cpp.o.d"
+  "CMakeFiles/sttram_cell.dir/bitline.cpp.o"
+  "CMakeFiles/sttram_cell.dir/bitline.cpp.o.d"
+  "CMakeFiles/sttram_cell.dir/cell.cpp.o"
+  "CMakeFiles/sttram_cell.dir/cell.cpp.o.d"
+  "libsttram_cell.a"
+  "libsttram_cell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_cell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

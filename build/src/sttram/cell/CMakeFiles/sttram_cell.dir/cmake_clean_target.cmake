@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsttram_cell.a"
+)

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_common.dir/format.cpp.o"
+  "CMakeFiles/sttram_common.dir/format.cpp.o.d"
+  "CMakeFiles/sttram_common.dir/numeric.cpp.o"
+  "CMakeFiles/sttram_common.dir/numeric.cpp.o.d"
+  "libsttram_common.a"
+  "libsttram_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

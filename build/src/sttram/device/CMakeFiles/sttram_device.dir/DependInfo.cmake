@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/device/mtj.cpp" "src/sttram/device/CMakeFiles/sttram_device.dir/mtj.cpp.o" "gcc" "src/sttram/device/CMakeFiles/sttram_device.dir/mtj.cpp.o.d"
+  "/root/repo/src/sttram/device/reliability.cpp" "src/sttram/device/CMakeFiles/sttram_device.dir/reliability.cpp.o" "gcc" "src/sttram/device/CMakeFiles/sttram_device.dir/reliability.cpp.o.d"
+  "/root/repo/src/sttram/device/ri_curve.cpp" "src/sttram/device/CMakeFiles/sttram_device.dir/ri_curve.cpp.o" "gcc" "src/sttram/device/CMakeFiles/sttram_device.dir/ri_curve.cpp.o.d"
+  "/root/repo/src/sttram/device/switching.cpp" "src/sttram/device/CMakeFiles/sttram_device.dir/switching.cpp.o" "gcc" "src/sttram/device/CMakeFiles/sttram_device.dir/switching.cpp.o.d"
+  "/root/repo/src/sttram/device/variation.cpp" "src/sttram/device/CMakeFiles/sttram_device.dir/variation.cpp.o" "gcc" "src/sttram/device/CMakeFiles/sttram_device.dir/variation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/stats/CMakeFiles/sttram_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_device.dir/mtj.cpp.o"
+  "CMakeFiles/sttram_device.dir/mtj.cpp.o.d"
+  "CMakeFiles/sttram_device.dir/reliability.cpp.o"
+  "CMakeFiles/sttram_device.dir/reliability.cpp.o.d"
+  "CMakeFiles/sttram_device.dir/ri_curve.cpp.o"
+  "CMakeFiles/sttram_device.dir/ri_curve.cpp.o.d"
+  "CMakeFiles/sttram_device.dir/switching.cpp.o"
+  "CMakeFiles/sttram_device.dir/switching.cpp.o.d"
+  "CMakeFiles/sttram_device.dir/variation.cpp.o"
+  "CMakeFiles/sttram_device.dir/variation.cpp.o.d"
+  "libsttram_device.a"
+  "libsttram_device.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_device.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/io/ascii_plot.cpp" "src/sttram/io/CMakeFiles/sttram_io.dir/ascii_plot.cpp.o" "gcc" "src/sttram/io/CMakeFiles/sttram_io.dir/ascii_plot.cpp.o.d"
+  "/root/repo/src/sttram/io/csv.cpp" "src/sttram/io/CMakeFiles/sttram_io.dir/csv.cpp.o" "gcc" "src/sttram/io/CMakeFiles/sttram_io.dir/csv.cpp.o.d"
+  "/root/repo/src/sttram/io/json.cpp" "src/sttram/io/CMakeFiles/sttram_io.dir/json.cpp.o" "gcc" "src/sttram/io/CMakeFiles/sttram_io.dir/json.cpp.o.d"
+  "/root/repo/src/sttram/io/table.cpp" "src/sttram/io/CMakeFiles/sttram_io.dir/table.cpp.o" "gcc" "src/sttram/io/CMakeFiles/sttram_io.dir/table.cpp.o.d"
+  "/root/repo/src/sttram/io/vcd.cpp" "src/sttram/io/CMakeFiles/sttram_io.dir/vcd.cpp.o" "gcc" "src/sttram/io/CMakeFiles/sttram_io.dir/vcd.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_io.dir/ascii_plot.cpp.o"
+  "CMakeFiles/sttram_io.dir/ascii_plot.cpp.o.d"
+  "CMakeFiles/sttram_io.dir/csv.cpp.o"
+  "CMakeFiles/sttram_io.dir/csv.cpp.o.d"
+  "CMakeFiles/sttram_io.dir/json.cpp.o"
+  "CMakeFiles/sttram_io.dir/json.cpp.o.d"
+  "CMakeFiles/sttram_io.dir/table.cpp.o"
+  "CMakeFiles/sttram_io.dir/table.cpp.o.d"
+  "CMakeFiles/sttram_io.dir/vcd.cpp.o"
+  "CMakeFiles/sttram_io.dir/vcd.cpp.o.d"
+  "libsttram_io.a"
+  "libsttram_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

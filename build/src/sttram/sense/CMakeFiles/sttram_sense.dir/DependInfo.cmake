@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/sense/design.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/design.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/design.cpp.o.d"
+  "/root/repo/src/sttram/sense/latch.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/latch.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/latch.cpp.o.d"
+  "/root/repo/src/sttram/sense/margins.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/margins.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/margins.cpp.o.d"
+  "/root/repo/src/sttram/sense/noise.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/noise.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/noise.cpp.o.d"
+  "/root/repo/src/sttram/sense/read_operation.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/read_operation.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/read_operation.cpp.o.d"
+  "/root/repo/src/sttram/sense/robustness.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/robustness.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/robustness.cpp.o.d"
+  "/root/repo/src/sttram/sense/sense_amp.cpp" "src/sttram/sense/CMakeFiles/sttram_sense.dir/sense_amp.cpp.o" "gcc" "src/sttram/sense/CMakeFiles/sttram_sense.dir/sense_amp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/device/CMakeFiles/sttram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/cell/CMakeFiles/sttram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/stats/CMakeFiles/sttram_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

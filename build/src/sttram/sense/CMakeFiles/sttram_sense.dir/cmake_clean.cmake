@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_sense.dir/design.cpp.o"
+  "CMakeFiles/sttram_sense.dir/design.cpp.o.d"
+  "CMakeFiles/sttram_sense.dir/latch.cpp.o"
+  "CMakeFiles/sttram_sense.dir/latch.cpp.o.d"
+  "CMakeFiles/sttram_sense.dir/margins.cpp.o"
+  "CMakeFiles/sttram_sense.dir/margins.cpp.o.d"
+  "CMakeFiles/sttram_sense.dir/noise.cpp.o"
+  "CMakeFiles/sttram_sense.dir/noise.cpp.o.d"
+  "CMakeFiles/sttram_sense.dir/read_operation.cpp.o"
+  "CMakeFiles/sttram_sense.dir/read_operation.cpp.o.d"
+  "CMakeFiles/sttram_sense.dir/robustness.cpp.o"
+  "CMakeFiles/sttram_sense.dir/robustness.cpp.o.d"
+  "CMakeFiles/sttram_sense.dir/sense_amp.cpp.o"
+  "CMakeFiles/sttram_sense.dir/sense_amp.cpp.o.d"
+  "libsttram_sense.a"
+  "libsttram_sense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_sense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

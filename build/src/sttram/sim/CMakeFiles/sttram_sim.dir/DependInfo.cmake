@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/sim/march.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/march.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/march.cpp.o.d"
+  "/root/repo/src/sttram/sim/spice_read.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/spice_read.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/spice_read.cpp.o.d"
+  "/root/repo/src/sttram/sim/tail.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/tail.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/tail.cpp.o.d"
+  "/root/repo/src/sttram/sim/throughput.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/throughput.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/throughput.cpp.o.d"
+  "/root/repo/src/sttram/sim/timing_diagram.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/timing_diagram.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/timing_diagram.cpp.o.d"
+  "/root/repo/src/sttram/sim/timing_energy.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/timing_energy.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/timing_energy.cpp.o.d"
+  "/root/repo/src/sttram/sim/yield.cpp" "src/sttram/sim/CMakeFiles/sttram_sim.dir/yield.cpp.o" "gcc" "src/sttram/sim/CMakeFiles/sttram_sim.dir/yield.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/stats/CMakeFiles/sttram_stats.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/device/CMakeFiles/sttram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/cell/CMakeFiles/sttram_cell.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/sense/CMakeFiles/sttram_sense.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/spice/CMakeFiles/sttram_spice.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_sim.dir/march.cpp.o"
+  "CMakeFiles/sttram_sim.dir/march.cpp.o.d"
+  "CMakeFiles/sttram_sim.dir/spice_read.cpp.o"
+  "CMakeFiles/sttram_sim.dir/spice_read.cpp.o.d"
+  "CMakeFiles/sttram_sim.dir/tail.cpp.o"
+  "CMakeFiles/sttram_sim.dir/tail.cpp.o.d"
+  "CMakeFiles/sttram_sim.dir/throughput.cpp.o"
+  "CMakeFiles/sttram_sim.dir/throughput.cpp.o.d"
+  "CMakeFiles/sttram_sim.dir/timing_diagram.cpp.o"
+  "CMakeFiles/sttram_sim.dir/timing_diagram.cpp.o.d"
+  "CMakeFiles/sttram_sim.dir/timing_energy.cpp.o"
+  "CMakeFiles/sttram_sim.dir/timing_energy.cpp.o.d"
+  "CMakeFiles/sttram_sim.dir/yield.cpp.o"
+  "CMakeFiles/sttram_sim.dir/yield.cpp.o.d"
+  "libsttram_sim.a"
+  "libsttram_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/spice/analysis.cpp" "src/sttram/spice/CMakeFiles/sttram_spice.dir/analysis.cpp.o" "gcc" "src/sttram/spice/CMakeFiles/sttram_spice.dir/analysis.cpp.o.d"
+  "/root/repo/src/sttram/spice/circuit.cpp" "src/sttram/spice/CMakeFiles/sttram_spice.dir/circuit.cpp.o" "gcc" "src/sttram/spice/CMakeFiles/sttram_spice.dir/circuit.cpp.o.d"
+  "/root/repo/src/sttram/spice/elements.cpp" "src/sttram/spice/CMakeFiles/sttram_spice.dir/elements.cpp.o" "gcc" "src/sttram/spice/CMakeFiles/sttram_spice.dir/elements.cpp.o.d"
+  "/root/repo/src/sttram/spice/matrix.cpp" "src/sttram/spice/CMakeFiles/sttram_spice.dir/matrix.cpp.o" "gcc" "src/sttram/spice/CMakeFiles/sttram_spice.dir/matrix.cpp.o.d"
+  "/root/repo/src/sttram/spice/parser.cpp" "src/sttram/spice/CMakeFiles/sttram_spice.dir/parser.cpp.o" "gcc" "src/sttram/spice/CMakeFiles/sttram_spice.dir/parser.cpp.o.d"
+  "/root/repo/src/sttram/spice/waveform.cpp" "src/sttram/spice/CMakeFiles/sttram_spice.dir/waveform.cpp.o" "gcc" "src/sttram/spice/CMakeFiles/sttram_spice.dir/waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/device/CMakeFiles/sttram_device.dir/DependInfo.cmake"
+  "/root/repo/build/src/sttram/stats/CMakeFiles/sttram_stats.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

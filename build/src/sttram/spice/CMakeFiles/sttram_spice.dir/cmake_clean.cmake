@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_spice.dir/analysis.cpp.o"
+  "CMakeFiles/sttram_spice.dir/analysis.cpp.o.d"
+  "CMakeFiles/sttram_spice.dir/circuit.cpp.o"
+  "CMakeFiles/sttram_spice.dir/circuit.cpp.o.d"
+  "CMakeFiles/sttram_spice.dir/elements.cpp.o"
+  "CMakeFiles/sttram_spice.dir/elements.cpp.o.d"
+  "CMakeFiles/sttram_spice.dir/matrix.cpp.o"
+  "CMakeFiles/sttram_spice.dir/matrix.cpp.o.d"
+  "CMakeFiles/sttram_spice.dir/parser.cpp.o"
+  "CMakeFiles/sttram_spice.dir/parser.cpp.o.d"
+  "CMakeFiles/sttram_spice.dir/waveform.cpp.o"
+  "CMakeFiles/sttram_spice.dir/waveform.cpp.o.d"
+  "libsttram_spice.a"
+  "libsttram_spice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_spice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

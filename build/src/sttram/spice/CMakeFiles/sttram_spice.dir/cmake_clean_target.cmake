@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsttram_spice.a"
+)

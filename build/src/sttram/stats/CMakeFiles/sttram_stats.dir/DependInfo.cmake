@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sttram/stats/distributions.cpp" "src/sttram/stats/CMakeFiles/sttram_stats.dir/distributions.cpp.o" "gcc" "src/sttram/stats/CMakeFiles/sttram_stats.dir/distributions.cpp.o.d"
+  "/root/repo/src/sttram/stats/importance.cpp" "src/sttram/stats/CMakeFiles/sttram_stats.dir/importance.cpp.o" "gcc" "src/sttram/stats/CMakeFiles/sttram_stats.dir/importance.cpp.o.d"
+  "/root/repo/src/sttram/stats/monte_carlo.cpp" "src/sttram/stats/CMakeFiles/sttram_stats.dir/monte_carlo.cpp.o" "gcc" "src/sttram/stats/CMakeFiles/sttram_stats.dir/monte_carlo.cpp.o.d"
+  "/root/repo/src/sttram/stats/summary.cpp" "src/sttram/stats/CMakeFiles/sttram_stats.dir/summary.cpp.o" "gcc" "src/sttram/stats/CMakeFiles/sttram_stats.dir/summary.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sttram/common/CMakeFiles/sttram_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sttram_stats.dir/distributions.cpp.o"
+  "CMakeFiles/sttram_stats.dir/distributions.cpp.o.d"
+  "CMakeFiles/sttram_stats.dir/importance.cpp.o"
+  "CMakeFiles/sttram_stats.dir/importance.cpp.o.d"
+  "CMakeFiles/sttram_stats.dir/monte_carlo.cpp.o"
+  "CMakeFiles/sttram_stats.dir/monte_carlo.cpp.o.d"
+  "CMakeFiles/sttram_stats.dir/summary.cpp.o"
+  "CMakeFiles/sttram_stats.dir/summary.cpp.o.d"
+  "libsttram_stats.a"
+  "libsttram_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sttram_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_periphery.dir/test_periphery.cpp.o"
+  "CMakeFiles/test_periphery.dir/test_periphery.cpp.o.d"
+  "test_periphery"
+  "test_periphery.pdb"
+  "test_periphery[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_periphery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
