@@ -1,14 +1,53 @@
 // Shared helpers for the reproduction benches: every bench prints its
-// figure/table and a "paper vs measured" summary block.
+// figure/table and a "paper vs measured" summary block, and drops a
+// telemetry sidecar (BENCH_<id>.metrics.json) next to its output so the
+// result trajectories carry solver-health data.
 #pragma once
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "sttram/obs/metrics.hpp"
+
 namespace sttram::bench {
 
+/// Enables telemetry for this bench process and arranges for the metrics
+/// registry to be dumped to BENCH_<id>.metrics.json at exit (the first
+/// heading of the run names the sidecar).  Set STTRAM_BENCH_METRICS=0 to
+/// opt out; STTRAM_BENCH_METRICS_DIR overrides the output directory.
+inline void enable_metrics_sidecar(const std::string& id) {
+  static bool armed = false;
+  if (armed) return;
+  armed = true;
+  if (const char* flag = std::getenv("STTRAM_BENCH_METRICS");
+      flag != nullptr && std::string(flag) == "0") {
+    return;
+  }
+  std::string stem;
+  for (const char ch : id) {
+    stem += std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_';
+  }
+  static std::string path;
+  path = "BENCH_" + stem + ".metrics.json";
+  if (const char* dir = std::getenv("STTRAM_BENCH_METRICS_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  sttram::obs::set_metrics_enabled(true);
+  std::atexit(+[] {
+    try {
+      sttram::obs::write_metrics_json(path);
+    } catch (...) {
+      // A bench must never fail because its sidecar is unwritable.
+    }
+  });
+}
+
 inline void heading(const std::string& id, const std::string& title) {
+  enable_metrics_sidecar(id);
   std::cout << "\n================================================================\n"
             << id << " — " << title << '\n'
             << "================================================================\n";

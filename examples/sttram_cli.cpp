@@ -7,14 +7,21 @@
 //   sttram_cli tail [margin_mv]       importance-sampled failure tail
 //   sttram_cli read [0|1]             execute a read + Fig. 9 timing diagram
 //   sttram_cli transient [0|1]        circuit-level (MNA) read summary
+//   sttram_cli stats                  telemetry snapshot of a demo workload
+//
+// Global flags (before or after the subcommand):
+//   --metrics <file>   enable telemetry; dump the metrics registry as JSON
+//   --trace <file>     record scoped spans; dump chrome://tracing JSON
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "sttram/common/format.hpp"
 #include "sttram/io/json.hpp"
 #include "sttram/io/table.hpp"
+#include "sttram/obs/obs.hpp"
 #include "sttram/sense/design.hpp"
 #include "sttram/sense/margins.hpp"
 #include "sttram/sense/robustness.hpp"
@@ -195,24 +202,101 @@ int cmd_transient(int argc, char** argv) {
   return 0;
 }
 
+int cmd_stats(int, char**) {
+  // Self-profiling snapshot: run one representative workload from each
+  // instrumented subsystem with telemetry forced on, then print the
+  // registry.  Shows which solver/MC counters a real run would carry.
+  obs::set_metrics_enabled(true);
+  {
+    YieldConfig cfg;
+    cfg.geometry = {32, 32};
+    cfg.max_scatter_points = 1;
+    run_yield_experiment(cfg);
+  }
+  {
+    SpiceReadConfig cfg;
+    simulate_nondestructive_read(cfg);  // exercises the MNA Newton solver
+  }
+  estimate_margin_tail(TailConfig{}, 1, 4000);
+
+  const auto& registry = obs::Registry::instance();
+  TextTable t({"metric", "count", "value | mean", "min", "max"});
+  for (const auto& c : registry.counters()) {
+    t.add_row({c.name, std::to_string(c.value), "", "", ""});
+  }
+  for (const auto& g : registry.gauges()) {
+    t.add_row({g.name, "", format_double(g.value, 4), "", ""});
+  }
+  for (const auto& tm : registry.timers()) {
+    const bool empty = tm.stats.count() == 0;
+    t.add_row({tm.name, std::to_string(tm.stats.count()),
+               empty ? "" : format_double(tm.stats.mean(), 4),
+               empty ? "" : format_double(tm.stats.min(), 4),
+               empty ? "" : format_double(tm.stats.max(), 4)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  // Peel off the global telemetry flags; everything else is forwarded to
+  // the subcommand untouched, so numerical output is independent of them.
+  std::string metrics_path;
+  std::string trace_path;
+  std::vector<char*> args;
+  args.push_back(argv[0]);
+  for (int k = 1; k < argc; ++k) {
+    const bool is_metrics = std::strcmp(argv[k], "--metrics") == 0;
+    const bool is_trace = std::strcmp(argv[k], "--trace") == 0;
+    if (is_metrics || is_trace) {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a file path\n", argv[k]);
+        return 2;
+      }
+      (is_metrics ? metrics_path : trace_path) = argv[++k];
+    } else {
+      args.push_back(argv[k]);
+    }
+  }
+  if (args.size() < 2) {
     std::fprintf(
         stderr,
-        "usage: sttram_cli "
-        "{margins|design|robustness|yield|tail|read|transient} [args]\n");
+        "usage: sttram_cli [--metrics <file>] [--trace <file>] "
+        "{margins|design|robustness|yield|tail|read|transient|stats} "
+        "[args]\n");
     return 2;
   }
-  const std::string cmd = argv[1];
-  if (cmd == "margins") return cmd_margins(argc, argv);
-  if (cmd == "design") return cmd_design(argc, argv);
-  if (cmd == "robustness") return cmd_robustness(argc, argv);
-  if (cmd == "yield") return cmd_yield(argc, argv);
-  if (cmd == "tail") return cmd_tail(argc, argv);
-  if (cmd == "read") return cmd_read(argc, argv);
-  if (cmd == "transient") return cmd_transient(argc, argv);
-  std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-  return 2;
+  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+
+  const int sub_argc = static_cast<int>(args.size());
+  char** sub_argv = args.data();
+  const std::string cmd = sub_argv[1];
+  int rc = 2;
+  if (cmd == "margins") rc = cmd_margins(sub_argc, sub_argv);
+  else if (cmd == "design") rc = cmd_design(sub_argc, sub_argv);
+  else if (cmd == "robustness") rc = cmd_robustness(sub_argc, sub_argv);
+  else if (cmd == "yield") rc = cmd_yield(sub_argc, sub_argv);
+  else if (cmd == "tail") rc = cmd_tail(sub_argc, sub_argv);
+  else if (cmd == "read") rc = cmd_read(sub_argc, sub_argv);
+  else if (cmd == "transient") rc = cmd_transient(sub_argc, sub_argv);
+  else if (cmd == "stats") rc = cmd_stats(sub_argc, sub_argv);
+  else {
+    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
+    return 2;
+  }
+
+  try {
+    if (!metrics_path.empty()) obs::write_metrics_json(metrics_path);
+    if (!trace_path.empty()) {
+      obs::TraceRecorder::instance().stop();
+      obs::write_trace_json(trace_path);
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return rc == 0 ? 1 : rc;
+  }
+  return rc;
 }

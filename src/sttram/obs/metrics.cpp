@@ -1,0 +1,184 @@
+#include "sttram/obs/metrics.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+#include "sttram/common/error.hpp"
+#include "sttram/io/csv.hpp"
+#include "sttram/io/json.hpp"
+
+namespace sttram::obs {
+namespace {
+
+std::atomic<bool> g_metrics_enabled{false};
+
+std::string format_full(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool metrics_enabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+void set_metrics_enabled(bool on) {
+  g_metrics_enabled.store(on, std::memory_order_relaxed);
+}
+
+Registry& Registry::instance() {
+  static Registry registry;
+  return registry;
+}
+
+Registry::Registry() {
+  // Pre-register the well-known solver / Monte-Carlo metrics so every
+  // export carries the full schema even when a workload never hits them.
+  for (const char* name :
+       {"mc.trials", "is.trials", "is.hits", "read.phases",
+        "spice.dc.solves", "spice.dc.gmin_ramps", "spice.dc.gmin_decades",
+        "spice.newton.solves", "spice.newton.iterations",
+        "spice.newton.factorizations", "spice.newton.nonconverged",
+        "spice.transient.runs", "spice.transient.steps_accepted",
+        "spice.transient.steps_rejected", "tail.searches",
+        "tail.margin_evaluations", "yield.experiments",
+        "yield.margin_evaluations", "yield.margin_failures"}) {
+    counters_.emplace(name, std::make_unique<Counter>());
+  }
+  for (const char* name : {"mc.trials_per_second", "yield.cells_per_second"}) {
+    gauges_.emplace(name, std::make_unique<Gauge>());
+  }
+  for (const char* name : {"mc.trial_seconds", "yield.experiment_seconds"}) {
+    timers_.emplace(name, std::make_unique<Timer>());
+  }
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return *slot;
+}
+
+Timer& Registry::timer(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = timers_[name];
+  if (slot == nullptr) slot = std::make_unique<Timer>();
+  return *slot;
+}
+
+std::vector<CounterSnapshot> Registry::counters() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<CounterSnapshot> out;
+  out.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    out.push_back({name, c->value()});
+  }
+  return out;
+}
+
+std::vector<GaugeSnapshot> Registry::gauges() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<GaugeSnapshot> out;
+  out.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    out.push_back({name, g->value()});
+  }
+  return out;
+}
+
+std::vector<TimerSnapshot> Registry::timers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TimerSnapshot> out;
+  out.reserve(timers_.size());
+  for (const auto& [name, t] : timers_) {
+    out.push_back({name, t->snapshot()});
+  }
+  return out;
+}
+
+Json Registry::to_json() const {
+  Json counters = Json::object();
+  for (const auto& c : this->counters()) {
+    counters.set(c.name,
+                 Json::integer(static_cast<std::int64_t>(c.value)));
+  }
+  Json gauges = Json::object();
+  for (const auto& g : this->gauges()) {
+    gauges.set(g.name, Json::number(g.value));
+  }
+  Json timers = Json::object();
+  for (const auto& t : this->timers()) {
+    Json entry = Json::object();
+    const std::size_t n = t.stats.count();
+    entry.set("count", Json::integer(static_cast<std::int64_t>(n)));
+    entry.set("mean", Json::number(n > 0 ? t.stats.mean() : 0.0));
+    entry.set("stddev", Json::number(t.stats.stddev()));
+    entry.set("min", Json::number(n > 0 ? t.stats.min() : 0.0));
+    entry.set("max", Json::number(n > 0 ? t.stats.max() : 0.0));
+    entry.set("total",
+              Json::number(t.stats.mean() * static_cast<double>(n)));
+    timers.set(t.name, std::move(entry));
+  }
+  Json out = Json::object();
+  out.set("counters", std::move(counters));
+  out.set("gauges", std::move(gauges));
+  out.set("timers", std::move(timers));
+  return out;
+}
+
+void Registry::write_csv(std::ostream& out) const {
+  CsvWriter csv(out);
+  csv.write_row(std::vector<std::string>{"kind", "name", "count", "value",
+                                         "mean", "stddev", "min", "max"});
+  for (const auto& c : counters()) {
+    csv.write_row(std::vector<std::string>{
+        "counter", c.name, std::to_string(c.value),
+        std::to_string(c.value), "", "", "", ""});
+  }
+  for (const auto& g : gauges()) {
+    csv.write_row(std::vector<std::string>{"gauge", g.name, "",
+                                           format_full(g.value), "", "", "",
+                                           ""});
+  }
+  for (const auto& t : timers()) {
+    const std::size_t n = t.stats.count();
+    csv.write_row(std::vector<std::string>{
+        "timer", t.name, std::to_string(n),
+        format_full(t.stats.mean() * static_cast<double>(n)),
+        format_full(n > 0 ? t.stats.mean() : 0.0),
+        format_full(t.stats.stddev()),
+        format_full(n > 0 ? t.stats.min() : 0.0),
+        format_full(n > 0 ? t.stats.max() : 0.0)});
+  }
+}
+
+void Registry::reset() {
+  const std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, t] : timers_) t->reset();
+}
+
+void write_metrics_json(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_metrics_json: cannot open '" + path + "'");
+  out << Registry::instance().to_json().dump(2) << '\n';
+}
+
+void write_metrics_csv(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw Error("write_metrics_csv: cannot open '" + path + "'");
+  Registry::instance().write_csv(out);
+}
+
+}  // namespace sttram::obs

@@ -1,0 +1,215 @@
+// Process-wide telemetry registry: monotonic counters, gauges and
+// RunningStats-backed timers with JSON/CSV export.
+//
+// Design goals (see DESIGN.md §8):
+//  - Zero overhead when disabled: every instrumentation macro starts
+//    with a single relaxed atomic load of the global enable flag and
+//    performs no allocation, no locking and no clock read on that path.
+//  - Numerical transparency: metrics only *observe* — instrumented code
+//    never consumes RNG state or changes control flow, so results are
+//    bit-identical with telemetry on or off.
+//  - Stable handles: references returned by Registry::counter()/gauge()/
+//    timer() stay valid for the process lifetime; reset() zeroes values
+//    but never invalidates a handle, so call sites may cache them.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "sttram/stats/summary.hpp"
+
+namespace sttram {
+class Json;
+}
+
+namespace sttram::obs {
+
+/// Global metrics switch.  Off by default; flipping it on mid-process is
+/// safe (instrumentation sites lazily register on first enabled hit).
+[[nodiscard]] bool metrics_enabled();
+void set_metrics_enabled(bool on);
+
+/// Monotonic event counter (thread-safe, lock-free).
+class Counter {
+ public:
+  void add(std::uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void increment() { add(1); }
+  [[nodiscard]] std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-write-wins instantaneous value (thread-safe).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  [[nodiscard]] double value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() { set(0.0); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Duration (or any scalar sample) accumulator backed by RunningStats.
+class Timer {
+ public:
+  void record(double seconds) {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_.add(seconds);
+  }
+  [[nodiscard]] RunningStats snapshot() const {
+    const std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void reset() {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stats_ = RunningStats{};
+  }
+
+ private:
+  mutable std::mutex mu_;
+  RunningStats stats_;
+};
+
+struct CounterSnapshot {
+  std::string name;
+  std::uint64_t value = 0;
+};
+struct GaugeSnapshot {
+  std::string name;
+  double value = 0.0;
+};
+struct TimerSnapshot {
+  std::string name;
+  RunningStats stats;
+};
+
+/// The process-wide registry.  Well-known solver/MC metric names are
+/// pre-registered at construction so every export carries the full
+/// schema (zero-valued when the workload never hit them).
+class Registry {
+ public:
+  static Registry& instance();
+
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Returns the named metric, creating it on first use.  The returned
+  /// reference stays valid for the process lifetime.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  [[nodiscard]] std::vector<CounterSnapshot> counters() const;
+  [[nodiscard]] std::vector<GaugeSnapshot> gauges() const;
+  [[nodiscard]] std::vector<TimerSnapshot> timers() const;
+
+  /// {"counters": {...}, "gauges": {...}, "timers": {name: {count, mean,
+  /// stddev, min, max, total}}}.
+  [[nodiscard]] Json to_json() const;
+
+  /// One row per metric: kind,name,count,value,mean,stddev,min,max.
+  void write_csv(std::ostream& out) const;
+
+  /// Zeroes every metric; handles stay valid.
+  void reset();
+
+ private:
+  Registry();
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Timer>> timers_;
+};
+
+/// Dumps the registry to `path` (pretty-printed JSON / CSV).  Throws
+/// sttram::Error when the file cannot be written.
+void write_metrics_json(const std::string& path);
+void write_metrics_csv(const std::string& path);
+
+/// RAII wall-clock timer feeding the named Timer metric.  Inert (no
+/// clock read) when metrics are disabled at construction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(const char* name) {
+    if (metrics_enabled()) {
+      timer_ = &Registry::instance().timer(name);
+      start_ = std::chrono::steady_clock::now();
+    }
+  }
+  ~ScopedTimer() {
+    if (timer_ != nullptr) {
+      timer_->record(std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - start_)
+                         .count());
+    }
+  }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  Timer* timer_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+};
+
+}  // namespace sttram::obs
+
+#ifndef STTRAM_OBS_CONCAT
+#define STTRAM_OBS_CONCAT_INNER(a, b) a##b
+#define STTRAM_OBS_CONCAT(a, b) STTRAM_OBS_CONCAT_INNER(a, b)
+#endif
+
+/// Adds `delta` to the counter `name` (a string literal).  The handle is
+/// resolved once per call site and cached in a function-local static, so
+/// the steady-state enabled cost is one flag load + one relaxed add.
+#define STTRAM_OBS_ADD(name, delta)                                       \
+  do {                                                                    \
+    if (::sttram::obs::metrics_enabled()) {                               \
+      static ::sttram::obs::Counter& sttram_obs_counter_ =                \
+          ::sttram::obs::Registry::instance().counter(name);              \
+      sttram_obs_counter_.add(static_cast<std::uint64_t>(delta));         \
+    }                                                                     \
+  } while (0)
+
+#define STTRAM_OBS_COUNT(name) STTRAM_OBS_ADD(name, 1)
+
+/// Sets the gauge `name` to `value`.
+#define STTRAM_OBS_SET_GAUGE(name, value)                                 \
+  do {                                                                    \
+    if (::sttram::obs::metrics_enabled()) {                               \
+      static ::sttram::obs::Gauge& sttram_obs_gauge_ =                    \
+          ::sttram::obs::Registry::instance().gauge(name);                \
+      sttram_obs_gauge_.set(static_cast<double>(value));                  \
+    }                                                                     \
+  } while (0)
+
+/// Records `seconds` into the timer `name`.
+#define STTRAM_OBS_RECORD(name, seconds)                                  \
+  do {                                                                    \
+    if (::sttram::obs::metrics_enabled()) {                               \
+      static ::sttram::obs::Timer& sttram_obs_timer_ =                    \
+          ::sttram::obs::Registry::instance().timer(name);                \
+      sttram_obs_timer_.record(static_cast<double>(seconds));             \
+    }                                                                     \
+  } while (0)
+
+/// Times the enclosing scope (wall clock) into the timer `name`.
+#define STTRAM_OBS_SCOPED_TIMER(name)                                     \
+  ::sttram::obs::ScopedTimer STTRAM_OBS_CONCAT(sttram_obs_scoped_timer_,  \
+                                               __LINE__)(name)

@@ -1,0 +1,8 @@
+// Umbrella header for the observability layer: the metrics registry
+// (counters / gauges / timers + JSON/CSV export) and the Chrome
+// trace-event span recorder.  See DESIGN.md §8 and the "Telemetry &
+// profiling" section of the README.
+#pragma once
+
+#include "sttram/obs/metrics.hpp"  // IWYU pragma: export
+#include "sttram/obs/trace.hpp"    // IWYU pragma: export

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "sttram/common/error.hpp"
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/trace.hpp"
 
 namespace sttram {
 namespace {
@@ -40,6 +42,14 @@ void add_phase(ReadResult& result, const std::string& name, Second duration,
   result.phases.push_back(p);
   result.latency += duration;
   result.energy += energy;
+  // Per-phase telemetry: simulated latency / energy distributions keyed
+  // by phase name (the Fig. 9 phases).  Off-path cost is one flag load.
+  if (obs::metrics_enabled()) {
+    auto& registry = obs::Registry::instance();
+    registry.counter("read.phases").increment();
+    registry.timer("read.phase_latency_s." + name).record(duration.value());
+    registry.timer("read.phase_energy_J." + name).record(energy.value());
+  }
 }
 
 /// Energy of holding current `i` through resistance `r` for `t`.
@@ -61,6 +71,8 @@ NondestructiveReadOperation::NondestructiveReadOperation(
 }
 
 ReadResult NondestructiveReadOperation::execute(OneT1JCell& cell) const {
+  STTRAM_OBS_COUNT("read.ops.nondestructive");
+  STTRAM_TRACE_SPAN("NondestructiveReadOperation::execute", "read");
   ReadResult result;
   const bool stored = cell.stored_bit();
   const Ampere i1 = config_.i_max / beta_;
@@ -117,6 +129,8 @@ DestructiveReadOperation::DestructiveReadOperation(SelfRefConfig config,
 
 ReadResult DestructiveReadOperation::execute(
     OneT1JCell& cell, const PowerFailure& failure) const {
+  STTRAM_OBS_COUNT("read.ops.destructive");
+  STTRAM_TRACE_SPAN("DestructiveReadOperation::execute", "read");
   ReadResult result;
   const bool stored = cell.stored_bit();
   const Ampere i1 = config_.i_max / beta_;
@@ -201,6 +215,8 @@ ConventionalReadOperation::ConventionalReadOperation(Ampere i_read,
 }
 
 ReadResult ConventionalReadOperation::execute(OneT1JCell& cell) const {
+  STTRAM_OBS_COUNT("read.ops.conventional");
+  STTRAM_TRACE_SPAN("ConventionalReadOperation::execute", "read");
   ReadResult result;
   const bool stored = cell.stored_bit();
 

@@ -3,6 +3,8 @@
 #include <cmath>
 
 #include "sttram/common/error.hpp"
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/trace.hpp"
 
 namespace sttram {
 
@@ -31,13 +33,18 @@ double nondestructive_margin_at(const TailConfig& config,
 
 TailEstimate estimate_margin_tail(const TailConfig& config,
                                   std::uint64_t seed, std::size_t trials) {
+  STTRAM_OBS_COUNT("tail.searches");
+  obs::TraceSpan span("estimate_margin_tail", "tail");
+  std::size_t margin_evals = 0;
   const auto g = [&](const std::vector<double>& z) {
+    ++margin_evals;
     return nondestructive_margin_at(config, z) - config.threshold.value();
   };
   TailEstimate out;
   out.design_point = design_point_on_gradient(g, kTailDimensions);
   if (out.design_point.empty()) {
     // No failure region within the search radius: report zero.
+    STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals);
     out.estimate.trials = trials;
     return out;
   }
@@ -47,6 +54,7 @@ TailEstimate estimate_margin_tail(const TailConfig& config,
   out.estimate = importance_sample(
       seed, trials, out.design_point,
       [&](const std::vector<double>& z) { return g(z) < 0.0; });
+  STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals);
   out.expected_failures_16kb = out.estimate.probability * 16384.0;
   return out;
 }

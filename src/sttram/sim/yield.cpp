@@ -1,6 +1,10 @@
 #include "sttram/sim/yield.hpp"
 
+#include <chrono>
+
 #include "sttram/common/error.hpp"
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/trace.hpp"
 #include "sttram/stats/distributions.hpp"
 #include "sttram/stats/rng.hpp"
 
@@ -12,7 +16,10 @@ void record(SchemeYield& y, const SenseMargins& m, Volt required,
   y.bits += 1;
   y.sm0_stats.add(m.sm0.value());
   y.sm1_stats.add(m.sm1.value());
-  if (m.min() < required) y.failures += 1;
+  const bool failed = m.min() < required;
+  if (failed) y.failures += 1;
+  STTRAM_OBS_COUNT("yield.margin_evaluations");
+  if (failed) STTRAM_OBS_COUNT("yield.margin_failures");
   if (keep_every == 0 || (y.bits % keep_every) == 1 || keep_every == 1) {
     y.scatter.emplace_back(m.sm0.value(), m.sm1.value());
   }
@@ -21,6 +28,10 @@ void record(SchemeYield& y, const SenseMargins& m, Volt required,
 }  // namespace
 
 YieldResult run_yield_experiment(const YieldConfig& config) {
+  STTRAM_OBS_COUNT("yield.experiments");
+  obs::TraceSpan span("run_yield_experiment", "yield");
+  const bool metered = obs::metrics_enabled();
+  const auto t_begin = std::chrono::steady_clock::now();
   const MtjParams nominal = MtjParams::paper_calibrated();
 
   YieldResult result;
@@ -125,6 +136,18 @@ YieldResult run_yield_experiment(const YieldConfig& config) {
       record(result.nondestructive,
              nondestructive.margins(result.beta_nondestructive, mm),
              config.required_margin, keep_every);
+    }
+  }
+  if (metered) {
+    const double elapsed =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      t_begin)
+            .count();
+    auto& registry = obs::Registry::instance();
+    registry.timer("yield.experiment_seconds").record(elapsed);
+    if (elapsed > 0.0) {
+      registry.gauge("yield.cells_per_second")
+          .set(static_cast<double>(cells) / elapsed);
     }
   }
   return result;

@@ -5,6 +5,9 @@
 #include <limits>
 
 #include "sttram/common/error.hpp"
+#include "sttram/common/format.hpp"
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/trace.hpp"
 #include "sttram/spice/elements.hpp"
 #include "sttram/spice/matrix.hpp"
 
@@ -27,6 +30,7 @@ std::vector<double> assemble_and_solve(Circuit& circuit,
   for (const auto& e : circuit.elements()) {
     e->stamp(stamper, ctx);
   }
+  STTRAM_OBS_COUNT("spice.newton.factorizations");
   return solve_linear_system(std::move(a), std::move(b));
 }
 
@@ -37,16 +41,28 @@ bool any_nonlinear(const Circuit& circuit) {
   return false;
 }
 
-/// One Newton solve at fixed (time, dt, gmin).  Returns true on
-/// convergence; x holds the final iterate either way.
-bool newton_solve(Circuit& circuit, StampContext ctx,
-                  const NewtonOptions& opt, double gmin,
-                  std::vector<double>& x) {
+/// Outcome of one Newton solve, kept for solver telemetry and for
+/// attaching convergence context to CircuitError messages.
+struct NewtonReport {
+  bool converged = false;
+  int iterations = 0;      ///< Newton iterations executed
+  double max_delta = 0.0;  ///< last iteration's largest voltage update [V]
+  NodeId worst_node = kGround;  ///< node carrying that largest update
+};
+
+/// One Newton solve at fixed (time, dt, gmin).  x holds the final
+/// iterate whether or not the solve converged.
+NewtonReport newton_solve(Circuit& circuit, StampContext ctx,
+                          const NewtonOptions& opt, double gmin,
+                          std::vector<double>& x) {
+  NewtonReport report;
   const bool nonlinear = any_nonlinear(circuit);
   ctx.x = &x;
   for (int iter = 0; iter < opt.max_iterations; ++iter) {
+    ++report.iterations;
     std::vector<double> x_new = assemble_and_solve(circuit, ctx, gmin);
     double max_delta = 0.0;
+    NodeId worst = kGround;
     const std::size_t nodes = circuit.node_count();
     for (std::size_t k = 0; k < x.size(); ++k) {
       double delta = x_new[k] - x[k];
@@ -56,18 +72,42 @@ bool newton_solve(Circuit& circuit, StampContext ctx,
         delta = std::copysign(opt.max_step, delta);
         x_new[k] = x[k] + delta;
       }
-      if (k < nodes) {
-        max_delta = std::max(max_delta, std::fabs(delta));
+      if (k < nodes && std::fabs(delta) > max_delta) {
+        max_delta = std::fabs(delta);
+        worst = static_cast<NodeId>(k);
       }
     }
+    report.max_delta = max_delta;
+    report.worst_node = worst;
     const bool converged =
         max_delta <= opt.v_abstol ||
         max_delta <= opt.reltol * std::max(1.0, std::fabs(x_new[0]));
     x = std::move(x_new);
-    if (!nonlinear) return true;  // linear circuits converge in one solve
-    if (converged && iter > 0) return true;
+    if (!nonlinear) {  // linear circuits converge in one solve
+      report.converged = true;
+      break;
+    }
+    if (converged && iter > 0) {
+      report.converged = true;
+      break;
+    }
   }
-  return false;
+  STTRAM_OBS_COUNT("spice.newton.solves");
+  STTRAM_OBS_ADD("spice.newton.iterations", report.iterations);
+  if (!report.converged) STTRAM_OBS_COUNT("spice.newton.nonconverged");
+  return report;
+}
+
+/// Human-readable convergence context for error messages.
+std::string newton_context(const Circuit& circuit,
+                           const NewtonReport& report) {
+  const std::string node =
+      report.worst_node == kGround
+          ? std::string("n/a")
+          : circuit.node_name(report.worst_node);
+  return "after " + std::to_string(report.iterations) +
+         " iterations, worst node '" + node +
+         "' (|dV| = " + format_double(report.max_delta, 3) + " V)";
 }
 
 }  // namespace
@@ -75,29 +115,44 @@ bool newton_solve(Circuit& circuit, StampContext ctx,
 Solution solve_dc(Circuit& circuit, const NewtonOptions& options,
                   double time) {
   if (!circuit.finalized()) circuit.finalize();
+  STTRAM_OBS_COUNT("spice.dc.solves");
   StampContext ctx;
   ctx.time = time;
   ctx.transient = false;
   ctx.dt = 0.0;
   std::vector<double> x(circuit.unknown_count(), 0.0);
   ctx.x_prev = nullptr;
-  if (newton_solve(circuit, ctx, options, options.gmin, x)) {
+  const NewtonReport direct =
+      newton_solve(circuit, ctx, options, options.gmin, x);
+  if (direct.converged) {
     return Solution{std::move(x)};
   }
   // gmin ramp: converge an easier (heavily grounded) system first, then
   // walk gmin back down reusing each converged iterate as the start.
+  STTRAM_OBS_COUNT("spice.dc.gmin_ramps");
   double gmin = 1e-3;
   std::fill(x.begin(), x.end(), 0.0);
+  NewtonReport last = direct;
   for (int decade = 0; decade <= options.gmin_ramp_decades; ++decade) {
-    if (!newton_solve(circuit, ctx, options, gmin, x)) {
-      throw CircuitError("solve_dc: Newton failed during gmin ramp");
+    last = newton_solve(circuit, ctx, options, gmin, x);
+    STTRAM_OBS_COUNT("spice.dc.gmin_decades");
+    if (!last.converged) {
+      throw CircuitError(
+          "solve_dc: Newton failed during gmin ramp (gmin = " +
+          format_double(gmin, 3) + " S, decade " + std::to_string(decade) +
+          " of " + std::to_string(options.gmin_ramp_decades) + ", " +
+          newton_context(circuit, last) + ")");
     }
     if (gmin <= options.gmin) {
       return Solution{std::move(x)};
     }
     gmin = std::max(gmin * 0.1, options.gmin);
   }
-  throw CircuitError("solve_dc: gmin ramp exhausted without convergence");
+  throw CircuitError(
+      "solve_dc: gmin ramp exhausted without convergence (" +
+      std::to_string(options.gmin_ramp_decades + 1) +
+      " decades walked, final gmin = " + format_double(gmin, 3) + " S, " +
+      newton_context(circuit, last) + ")");
 }
 
 std::vector<Solution> dc_sweep(Circuit& circuit,
@@ -213,6 +268,8 @@ TransientResult run_transient(Circuit& circuit,
   require(options.t_stop > options.t_start,
           "run_transient: t_stop must exceed t_start");
   if (!circuit.finalized()) circuit.finalize();
+  STTRAM_OBS_COUNT("spice.transient.runs");
+  obs::TraceSpan transient_span("run_transient", "spice");
 
   std::vector<std::string> names;
   names.reserve(circuit.node_count());
@@ -277,10 +334,13 @@ TransientResult run_transient(Circuit& circuit,
     ctx.integrator = options.integrator;
     ctx.x_prev = &x_prev;
     x = x_prev;  // warm start
-    if (!newton_solve(circuit, ctx, options.newton, options.newton.gmin,
-                      x)) {
+    const NewtonReport rep =
+        newton_solve(circuit, ctx, options.newton, options.newton.gmin, x);
+    if (!rep.converged) {
       throw CircuitError("run_transient: Newton failed at t=" +
-                         std::to_string(t_new));
+                         std::to_string(t_new) +
+                         " (dt = " + format_double(h, 3) + " s, " +
+                         newton_context(circuit, rep) + ")");
     }
 
     if (options.adaptive && have_two_points) {
@@ -298,6 +358,7 @@ TransientResult run_transient(Circuit& circuit,
       if (err > options.lte_tol && h > dt_min * (1.0 + 1e-9) &&
           t_new < bp - 1e-18) {
         dt = std::max(dt_min, 0.5 * h);
+        STTRAM_OBS_COUNT("spice.transient.steps_rejected");
         continue;  // reject; retry with the smaller step
       }
       if (err < 0.2 * options.lte_tol) {
@@ -306,6 +367,7 @@ TransientResult run_transient(Circuit& circuit,
     }
 
     // Accept: let dynamic elements update their histories.
+    STTRAM_OBS_COUNT("spice.transient.steps_accepted");
     ctx.x = &x;
     for (const auto& e : circuit.elements()) {
       e->commit_step(ctx);

@@ -38,7 +38,8 @@ struct NewtonOptions {
 
 /// Solves the DC operating point at time `time` (sources evaluate their
 /// waveforms there; capacitors are open).  Throws CircuitError on
-/// non-convergence.
+/// non-convergence; the message carries the iteration count, the worst
+/// (largest-update) node and the gmin-ramp decade reached.
 Solution solve_dc(Circuit& circuit, const NewtonOptions& options = {},
                   double time = 0.0);
 

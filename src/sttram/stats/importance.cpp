@@ -4,6 +4,8 @@
 
 #include "sttram/common/error.hpp"
 #include "sttram/common/numeric.hpp"
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/trace.hpp"
 #include "sttram/stats/distributions.hpp"
 
 namespace sttram {
@@ -12,6 +14,7 @@ ImportanceEstimate importance_sample(
     std::uint64_t seed, std::size_t trials, const std::vector<double>& shift,
     const std::function<bool(const std::vector<double>&)>& fails) {
   require(trials > 0, "importance_sample: trials must be > 0");
+  obs::TraceSpan span("importance_sample", "mc");
   require(!shift.empty(), "importance_sample: shift vector required");
   const std::size_t dim = shift.size();
   double shift_sq = 0.0;
@@ -36,6 +39,8 @@ ImportanceEstimate importance_sample(
       sum_w2 += w * w;
     }
   }
+  STTRAM_OBS_ADD("is.trials", trials);
+  STTRAM_OBS_ADD("is.hits", hits);
   ImportanceEstimate e;
   e.trials = trials;
   e.hits = hits;

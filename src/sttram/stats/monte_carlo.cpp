@@ -8,12 +8,37 @@ namespace sttram {
 
 RunningStats monte_carlo_stats(
     std::uint64_t seed, std::size_t trials,
-    const std::function<double(Xoshiro256&)>& trial_fn) {
+    const std::function<double(Xoshiro256&)>& trial_fn,
+    const MonteCarloOptions& options) {
+  obs::TraceSpan span("monte_carlo_stats", "mc");
   RunningStats stats;
   const Xoshiro256 master(seed);
+  const bool metered = obs::metrics_enabled();
+  obs::Timer* latency =
+      metered ? &obs::Registry::instance().timer("mc.trial_seconds")
+              : nullptr;
+  const std::size_t stride = detail::progress_stride(options, trials);
+  const auto t_begin = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < trials; ++i) {
     Xoshiro256 stream = master.fork(i);
-    stats.add(trial_fn(stream));
+    if (latency != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      stats.add(trial_fn(stream));
+      latency->record(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    } else {
+      stats.add(trial_fn(stream));
+    }
+    if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
+      options.progress(i + 1, trials);
+    }
+  }
+  if (metered) {
+    detail::publish_mc_throughput(
+        trials, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_begin)
+                    .count());
   }
   return stats;
 }
@@ -40,13 +65,27 @@ ProbabilityEstimate wilson_interval(std::size_t hits, std::size_t trials,
 
 ProbabilityEstimate estimate_probability(
     std::uint64_t seed, std::size_t trials,
-    const std::function<bool(Xoshiro256&)>& predicate) {
+    const std::function<bool(Xoshiro256&)>& predicate,
+    const MonteCarloOptions& options) {
   require(trials > 0, "estimate_probability: trials must be > 0");
+  obs::TraceSpan span("estimate_probability", "mc");
   std::size_t hits = 0;
   const Xoshiro256 master(seed);
+  const bool metered = obs::metrics_enabled();
+  const std::size_t stride = detail::progress_stride(options, trials);
+  const auto t_begin = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < trials; ++i) {
     Xoshiro256 stream = master.fork(i);
     if (predicate(stream)) ++hits;
+    if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
+      options.progress(i + 1, trials);
+    }
+  }
+  if (metered) {
+    detail::publish_mc_throughput(
+        trials, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_begin)
+                    .count());
   }
   return wilson_interval(hits, trials);
 }

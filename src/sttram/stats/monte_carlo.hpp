@@ -1,15 +1,51 @@
 // Generic deterministic Monte-Carlo driver.
 #pragma once
 
+#include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
 #include <vector>
 
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/trace.hpp"
 #include "sttram/stats/rng.hpp"
 #include "sttram/stats/summary.hpp"
 
 namespace sttram {
+
+/// Optional reporting knobs for the Monte-Carlo drivers.  Progress
+/// reporting is independent of the obs metrics switch and never alters
+/// the sampled streams, so results are identical with or without it.
+struct MonteCarloOptions {
+  /// Called as progress(done, total) every `progress_interval` trials
+  /// and once after the final trial; null disables reporting.
+  std::function<void(std::size_t done, std::size_t total)> progress;
+  /// 0 = auto (about 1% of the run, at least every trial).
+  std::size_t progress_interval = 0;
+};
+
+namespace detail {
+
+inline std::size_t progress_stride(const MonteCarloOptions& options,
+                                   std::size_t trials) {
+  if (options.progress_interval > 0) return options.progress_interval;
+  return std::max<std::size_t>(trials / 100, 1);
+}
+
+/// Publishes end-of-run throughput metrics (no-op when metrics are off —
+/// callers only invoke this on the instrumented path).
+inline void publish_mc_throughput(std::size_t trials, double elapsed_s) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("mc.trials").add(trials);
+  if (elapsed_s > 0.0) {
+    registry.gauge("mc.trials_per_second")
+        .set(static_cast<double>(trials) / elapsed_s);
+  }
+}
+
+}  // namespace detail
 
 /// Runs `trials` independent trials of `trial_fn`, each with its own
 /// decorrelated RNG stream derived from `seed`, and returns all results.
@@ -17,13 +53,38 @@ namespace sttram {
 /// requested, so extending a run keeps earlier samples identical.
 template <typename T>
 std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
-                               const std::function<T(Xoshiro256&)>& trial_fn) {
+                               const std::function<T(Xoshiro256&)>& trial_fn,
+                               const MonteCarloOptions& options = {}) {
+  obs::TraceSpan span("run_monte_carlo", "mc");
   std::vector<T> out;
   out.reserve(trials);
   const Xoshiro256 master(seed);
+  const bool metered = obs::metrics_enabled();
+  obs::Timer* latency =
+      metered ? &obs::Registry::instance().timer("mc.trial_seconds")
+              : nullptr;
+  const std::size_t stride = detail::progress_stride(options, trials);
+  const auto t_begin = std::chrono::steady_clock::now();
   for (std::size_t i = 0; i < trials; ++i) {
     Xoshiro256 stream = master.fork(i);
-    out.push_back(trial_fn(stream));
+    if (latency != nullptr) {
+      const auto t0 = std::chrono::steady_clock::now();
+      out.push_back(trial_fn(stream));
+      latency->record(std::chrono::duration<double>(
+                          std::chrono::steady_clock::now() - t0)
+                          .count());
+    } else {
+      out.push_back(trial_fn(stream));
+    }
+    if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
+      options.progress(i + 1, trials);
+    }
+  }
+  if (metered) {
+    detail::publish_mc_throughput(
+        trials, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_begin)
+                    .count());
   }
   return out;
 }
@@ -31,7 +92,8 @@ std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
 /// Convenience: runs scalar trials and reduces them into RunningStats.
 RunningStats monte_carlo_stats(
     std::uint64_t seed, std::size_t trials,
-    const std::function<double(Xoshiro256&)>& trial_fn);
+    const std::function<double(Xoshiro256&)>& trial_fn,
+    const MonteCarloOptions& options = {});
 
 /// Estimates P(predicate) with a Wilson 95% confidence interval.
 struct ProbabilityEstimate {
@@ -44,7 +106,8 @@ struct ProbabilityEstimate {
 
 ProbabilityEstimate estimate_probability(
     std::uint64_t seed, std::size_t trials,
-    const std::function<bool(Xoshiro256&)>& predicate);
+    const std::function<bool(Xoshiro256&)>& predicate,
+    const MonteCarloOptions& options = {});
 
 /// Wilson score interval for `hits` successes in `trials` Bernoulli draws.
 ProbabilityEstimate wilson_interval(std::size_t hits, std::size_t trials,

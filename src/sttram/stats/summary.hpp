@@ -1,6 +1,8 @@
 // Streaming summary statistics, percentiles and histograms.
 #pragma once
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 #include <string>
 #include <vector>
@@ -8,23 +10,57 @@
 namespace sttram {
 
 /// Numerically stable (Welford) streaming mean/variance/min/max.
+/// Header-only so low-level layers (e.g. the obs telemetry registry) can
+/// use it without linking sttram_stats.
 class RunningStats {
  public:
   /// Adds one observation.
-  void add(double x);
+  void add(double x) {
+    if (n_ == 0) {
+      min_ = max_ = x;
+    } else {
+      min_ = std::min(min_, x);
+      max_ = std::max(max_, x);
+    }
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+  }
 
   [[nodiscard]] std::size_t count() const { return n_; }
-  [[nodiscard]] double mean() const;
+  [[nodiscard]] double mean() const { return mean_; }
   /// Unbiased sample variance (n-1 denominator); 0 for n < 2.
-  [[nodiscard]] double variance() const;
-  [[nodiscard]] double stddev() const;
-  [[nodiscard]] double min() const;
-  [[nodiscard]] double max() const;
+  [[nodiscard]] double variance() const {
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+  }
+  [[nodiscard]] double stddev() const { return std::sqrt(variance()); }
+  [[nodiscard]] double min() const { return min_; }
+  [[nodiscard]] double max() const { return max_; }
   /// stddev / |mean| (coefficient of variation); 0 when mean == 0.
-  [[nodiscard]] double cv() const;
+  [[nodiscard]] double cv() const {
+    if (mean_ == 0.0) return 0.0;
+    return stddev() / std::fabs(mean_);
+  }
 
   /// Merges another accumulator into this one (parallel reduction).
-  void merge(const RunningStats& other);
+  void merge(const RunningStats& other) {
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+      *this = other;
+      return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double n = na + nb;
+    mean_ += delta * nb / n;
+    m2_ += other.m2_ + delta * delta * na * nb / n;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ += other.n_;
+  }
 
  private:
   std::size_t n_ = 0;

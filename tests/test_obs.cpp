@@ -1,0 +1,260 @@
+// Tests of the observability layer: registry semantics, JSON/CSV
+// export, trace-event output, and — critically — that instrumentation
+// never changes numerical results (same seed => identical samples).
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "sttram/io/json.hpp"
+#include "sttram/obs/obs.hpp"
+#include "sttram/sim/yield.hpp"
+#include "sttram/spice/analysis.hpp"
+#include "sttram/spice/parser.hpp"
+#include "sttram/stats/distributions.hpp"
+#include "sttram/stats/monte_carlo.hpp"
+
+namespace sttram {
+namespace {
+
+/// Every test starts and ends with telemetry fully off and zeroed, so
+/// tests are order-independent and leave no global state behind.
+class ObsTest : public ::testing::Test {
+ protected:
+  void SetUp() override { quiesce(); }
+  void TearDown() override { quiesce(); }
+
+  static void quiesce() {
+    obs::set_metrics_enabled(false);
+    obs::Registry::instance().reset();
+    obs::TraceRecorder::instance().stop();
+    obs::TraceRecorder::instance().clear();
+  }
+};
+
+TEST_F(ObsTest, CounterSemanticsAndStableHandles) {
+  auto& registry = obs::Registry::instance();
+  obs::Counter& c = registry.counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.increment();
+  c.add(4);
+  EXPECT_EQ(c.value(), 5u);
+  // The same name resolves to the same object.
+  EXPECT_EQ(&registry.counter("test.counter"), &c);
+  // reset() zeroes the value but keeps the handle valid.
+  registry.reset();
+  EXPECT_EQ(c.value(), 0u);
+  c.add(2);
+  EXPECT_EQ(registry.counter("test.counter").value(), 2u);
+}
+
+TEST_F(ObsTest, MacrosAreInertWhenDisabled) {
+  auto& registry = obs::Registry::instance();
+  for (int k = 0; k < 3; ++k) STTRAM_OBS_COUNT("test.macro_counter");
+  EXPECT_EQ(registry.counter("test.macro_counter").value(), 0u);
+  obs::set_metrics_enabled(true);
+  for (int k = 0; k < 3; ++k) STTRAM_OBS_COUNT("test.macro_counter");
+  EXPECT_EQ(registry.counter("test.macro_counter").value(), 3u);
+}
+
+TEST_F(ObsTest, TimerAndGauge) {
+  auto& registry = obs::Registry::instance();
+  obs::Timer& t = registry.timer("test.timer");
+  t.record(1.0);
+  t.record(3.0);
+  const RunningStats s = t.snapshot();
+  EXPECT_EQ(s.count(), 2u);
+  EXPECT_DOUBLE_EQ(s.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  registry.gauge("test.gauge").set(42.5);
+  EXPECT_DOUBLE_EQ(registry.gauge("test.gauge").value(), 42.5);
+}
+
+TEST_F(ObsTest, CountersAreThreadSafe) {
+  obs::Counter& c = obs::Registry::instance().counter("test.mt_counter");
+  constexpr int kThreads = 4;
+  constexpr int kIncrements = 10000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    workers.emplace_back([&c] {
+      for (int k = 0; k < kIncrements; ++k) c.increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(),
+            static_cast<std::uint64_t>(kThreads) * kIncrements);
+}
+
+TEST_F(ObsTest, JsonExportCarriesSchemaAndValues) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("test.json_counter").add(7);
+  registry.timer("test.json_timer").record(0.5);
+  const std::string dump = registry.to_json().dump(2);
+  // Live values.
+  EXPECT_NE(dump.find("\"test.json_counter\": 7"), std::string::npos);
+  EXPECT_NE(dump.find("\"test.json_timer\""), std::string::npos);
+  // Pre-registered solver/MC schema is always present, even untouched.
+  EXPECT_NE(dump.find("\"spice.newton.iterations\": 0"), std::string::npos);
+  EXPECT_NE(dump.find("\"mc.trials\": 0"), std::string::npos);
+  EXPECT_NE(dump.find("\"counters\""), std::string::npos);
+  EXPECT_NE(dump.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(dump.find("\"timers\""), std::string::npos);
+}
+
+TEST_F(ObsTest, CsvExportRoundTrip) {
+  auto& registry = obs::Registry::instance();
+  registry.counter("test.csv_counter").add(9);
+  std::ostringstream out;
+  registry.write_csv(out);
+  std::istringstream in(out.str());
+  std::string line;
+  ASSERT_TRUE(std::getline(in, line));
+  EXPECT_EQ(line, "kind,name,count,value,mean,stddev,min,max");
+  bool found = false;
+  std::size_t rows = 0;
+  while (std::getline(in, line)) {
+    ++rows;
+    if (line == "counter,test.csv_counter,9,9,,,,") found = true;
+  }
+  EXPECT_TRUE(found);
+  // One row per registered metric (pre-registered schema included).
+  EXPECT_EQ(rows, registry.counters().size() + registry.gauges().size() +
+                      registry.timers().size());
+}
+
+TEST_F(ObsTest, TraceSpansProduceValidChromeTraceJson) {
+  auto& recorder = obs::TraceRecorder::instance();
+  {
+    // Inactive recorder: spans are no-ops.
+    obs::TraceSpan span("ignored", "test");
+  }
+  EXPECT_EQ(recorder.event_count(), 0u);
+
+  recorder.start();
+  {
+    obs::TraceSpan outer("outer", "test");
+    { STTRAM_TRACE_SPAN("inner", "test"); }
+  }
+  recorder.stop();
+  EXPECT_EQ(recorder.event_count(), 2u);
+
+  std::ostringstream out;
+  recorder.write(out);
+  const std::string text = out.str();
+  EXPECT_EQ(text.front(), '{');
+  EXPECT_NE(text.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(text.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"outer\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\": \"inner\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts\""), std::string::npos);
+  EXPECT_NE(text.find("\"dur\""), std::string::npos);
+  // Events survive stop() until the next start()/clear().
+  recorder.start();
+  EXPECT_EQ(recorder.event_count(), 0u);
+  recorder.stop();
+}
+
+TEST_F(ObsTest, RunMonteCarloIsInvariantUnderInstrumentation) {
+  const auto trial = std::function<double(Xoshiro256&)>(
+      [](Xoshiro256& rng) { return sample_normal(rng, 1.0, 0.25); });
+
+  const std::vector<double> baseline = run_monte_carlo(123, 500, trial);
+  obs::set_metrics_enabled(true);
+  obs::TraceRecorder::instance().start();
+  const std::vector<double> instrumented = run_monte_carlo(123, 500, trial);
+  obs::TraceRecorder::instance().stop();
+
+  ASSERT_EQ(baseline.size(), instrumented.size());
+  for (std::size_t k = 0; k < baseline.size(); ++k) {
+    EXPECT_EQ(baseline[k], instrumented[k]) << "trial " << k;
+  }
+  // ...and the run was actually measured.
+  EXPECT_EQ(obs::Registry::instance().counter("mc.trials").value(), 500u);
+  EXPECT_EQ(obs::Registry::instance()
+                .timer("mc.trial_seconds")
+                .snapshot()
+                .count(),
+            500u);
+}
+
+TEST_F(ObsTest, MonteCarloStatsMatchOnVsOff) {
+  const auto trial = std::function<double(Xoshiro256&)>(
+      [](Xoshiro256& rng) { return rng.next_double(); });
+  const RunningStats off = monte_carlo_stats(7, 300, trial);
+  obs::set_metrics_enabled(true);
+  const RunningStats on = monte_carlo_stats(7, 300, trial);
+  EXPECT_EQ(off.count(), on.count());
+  EXPECT_EQ(off.mean(), on.mean());
+  EXPECT_EQ(off.variance(), on.variance());
+  EXPECT_EQ(off.min(), on.min());
+  EXPECT_EQ(off.max(), on.max());
+}
+
+TEST_F(ObsTest, YieldExperimentIsInvariantUnderInstrumentation) {
+  YieldConfig cfg;
+  cfg.geometry = {8, 8};
+  const YieldResult off = run_yield_experiment(cfg);
+  obs::set_metrics_enabled(true);
+  obs::TraceRecorder::instance().start();
+  const YieldResult on = run_yield_experiment(cfg);
+  obs::TraceRecorder::instance().stop();
+
+  for (const auto& pair :
+       {std::pair{&off.conventional, &on.conventional},
+        std::pair{&off.reference_cell, &on.reference_cell},
+        std::pair{&off.destructive, &on.destructive},
+        std::pair{&off.nondestructive, &on.nondestructive}}) {
+    EXPECT_EQ(pair.first->bits, pair.second->bits);
+    EXPECT_EQ(pair.first->failures, pair.second->failures);
+    EXPECT_EQ(pair.first->sm0_stats.mean(), pair.second->sm0_stats.mean());
+    EXPECT_EQ(pair.first->sm1_stats.mean(), pair.second->sm1_stats.mean());
+  }
+  EXPECT_EQ(off.shared_v_ref.value(), on.shared_v_ref.value());
+  // The instrumented run recorded its work.
+  EXPECT_EQ(
+      obs::Registry::instance().counter("yield.margin_evaluations").value(),
+      4u * 64u);
+}
+
+TEST_F(ObsTest, ProgressCallbackReportsCompletion) {
+  MonteCarloOptions options;
+  std::size_t calls = 0;
+  std::size_t last_done = 0;
+  options.progress_interval = 10;
+  options.progress = [&](std::size_t done, std::size_t total) {
+    ++calls;
+    last_done = done;
+    EXPECT_EQ(total, 95u);
+  };
+  const auto trial = std::function<double(Xoshiro256&)>(
+      [](Xoshiro256& rng) { return rng.next_double(); });
+  run_monte_carlo(1, 95, trial, options);
+  EXPECT_EQ(calls, 10u);  // 9 stride hits + the final trial
+  EXPECT_EQ(last_done, 95u);
+}
+
+TEST_F(ObsTest, TransientSolverFeedsNewtonCounters) {
+  const char* deck =
+      "obs rc deck\n"
+      "V1 in 0 1\n"
+      "R1 in out 1k\n"
+      "C1 out 0 1p\n"
+      ".tran 0.5n 10n\n"
+      ".end\n";
+  spice::ParsedDeck parsed = spice::parse_spice_deck(deck);
+  ASSERT_TRUE(parsed.tran.has_value());
+  obs::set_metrics_enabled(true);
+  spice::run_transient(parsed.circuit, *parsed.tran);
+  auto& registry = obs::Registry::instance();
+  EXPECT_GT(registry.counter("spice.newton.solves").value(), 0u);
+  EXPECT_GT(registry.counter("spice.newton.iterations").value(), 0u);
+  EXPECT_GT(registry.counter("spice.newton.factorizations").value(), 0u);
+  EXPECT_GT(registry.counter("spice.transient.steps_accepted").value(), 0u);
+  EXPECT_EQ(registry.counter("spice.newton.nonconverged").value(), 0u);
+}
+
+}  // namespace
+}  // namespace sttram
