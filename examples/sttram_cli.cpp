@@ -7,18 +7,26 @@
 //   sttram_cli tail [margin_mv]       importance-sampled failure tail
 //   sttram_cli read [0|1]             execute a read + Fig. 9 timing diagram
 //   sttram_cli transient [0|1]        circuit-level (MNA) read summary
+//   sttram_cli traffic [flags]        discrete-event bank traffic simulation
 //   sttram_cli stats                  telemetry snapshot of a demo workload
 //
 // Global flags (before or after the subcommand):
 //   --metrics <file>   enable telemetry; dump the metrics registry as JSON
 //   --trace <file>     record scoped spans; dump chrome://tracing JSON
+//   --threads <n>      thread pool for the Monte-Carlo drivers (default 1;
+//                      results are bit-identical for any thread count)
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "sttram/common/format.hpp"
+#include "sttram/engine/bank_sim.hpp"
+#include "sttram/engine/thread_pool.hpp"
+#include "sttram/engine/workload.hpp"
 #include "sttram/io/json.hpp"
 #include "sttram/io/table.hpp"
 #include "sttram/obs/obs.hpp"
@@ -34,7 +42,33 @@ using namespace sttram;
 
 namespace {
 
+/// Shared executor from the global --threads flag (null = serial).
+ParallelExecutor* g_executor = nullptr;
+
+/// Rejects any "--flag" token the subcommand does not understand.
+/// `allowed` is a null-terminated list of accepted flag spellings.
+bool reject_unknown_flags(int argc, char** argv,
+                          const char* const* allowed = nullptr) {
+  for (int k = 2; k < argc; ++k) {
+    if (std::strncmp(argv[k], "--", 2) != 0) continue;
+    bool known = false;
+    for (const char* const* f = allowed; f != nullptr && *f != nullptr; ++f) {
+      if (std::strcmp(argv[k], *f) == 0) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::fprintf(stderr, "error: unknown flag '%s' for '%s'\n", argv[k],
+                   argv[1]);
+      return false;
+    }
+  }
+  return true;
+}
+
 int cmd_margins(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   const MtjParams mtj = MtjParams::paper_calibrated();
   const Ohm r_t(917.0);
   const SelfRefConfig config;
@@ -62,7 +96,8 @@ int cmd_margins(int argc, char** argv) {
   return 0;
 }
 
-int cmd_design(int, char**) {
+int cmd_design(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   const SchemeDesign d = design_nondestructive_read(
       MtjParams::paper_calibrated(), Ohm(917.0), DesignConstraints{});
   std::printf("%s\n", d.feasible ? "FEASIBLE" : "INFEASIBLE");
@@ -75,7 +110,8 @@ int cmd_design(int, char**) {
   return d.feasible ? 0 : 1;
 }
 
-int cmd_robustness(int, char**) {
+int cmd_robustness(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   const MtjParams mtj = MtjParams::paper_calibrated();
   const Ohm r_t(917.0);
   const SelfRefConfig config;
@@ -99,6 +135,8 @@ int cmd_robustness(int, char**) {
 }
 
 int cmd_yield(int argc, char** argv) {
+  static const char* const kFlags[] = {"--json", nullptr};
+  if (!reject_unknown_flags(argc, argv, kFlags)) return 2;
   YieldConfig cfg;
   bool as_json = false;
   int positional = 0;
@@ -118,7 +156,7 @@ int cmd_yield(int argc, char** argv) {
   }
   if (rows > 0 && cols > 0) cfg.geometry = {rows, cols};
   cfg.max_scatter_points = 1;
-  const YieldResult r = run_yield_experiment(cfg);
+  const YieldResult r = run_yield_experiment(cfg, g_executor);
   if (as_json) {
     Json out = Json::object();
     out.set("bits", Json::integer(static_cast<std::int64_t>(
@@ -154,9 +192,10 @@ int cmd_yield(int argc, char** argv) {
 }
 
 int cmd_tail(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   TailConfig cfg;
   if (argc > 2) cfg.threshold = Volt(std::atof(argv[2]) * 1e-3);
-  const TailEstimate e = estimate_margin_tail(cfg, 1, 20000);
+  const TailEstimate e = estimate_margin_tail(cfg, 1, 20000, g_executor);
   if (e.design_point.empty()) {
     std::printf("no failure region within 12 sigma\n");
     return 0;
@@ -170,6 +209,7 @@ int cmd_tail(int argc, char** argv) {
 }
 
 int cmd_read(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   const bool bit = argc > 2 ? std::atoi(argv[2]) != 0 : true;
   OneT1JCell cell;
   cell.mtj().force_state(from_bit(bit));
@@ -189,6 +229,7 @@ int cmd_read(int argc, char** argv) {
 }
 
 int cmd_transient(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   SpiceReadConfig cfg;
   cfg.state = (argc > 2 && std::atoi(argv[2]) == 0)
                   ? MtjState::kParallel
@@ -202,7 +243,139 @@ int cmd_transient(int argc, char** argv) {
   return 0;
 }
 
-int cmd_stats(int, char**) {
+int cmd_traffic(int argc, char** argv) {
+  engine::TrafficConfig cfg;
+  std::string trace_path;
+  const auto flag_value = [&](int& k) -> const char* {
+    if (k + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", argv[k]);
+      return nullptr;
+    }
+    return argv[++k];
+  };
+  for (int k = 2; k < argc; ++k) {
+    const char* flag = argv[k];
+    const char* value = nullptr;
+    if (std::strcmp(flag, "--scheme") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      if (!engine::parse_scheme(value, cfg.scheme)) {
+        std::fprintf(stderr,
+                     "error: unknown scheme '%s' (want conventional, "
+                     "destructive or nondestructive)\n",
+                     value);
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--requests") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.requests = static_cast<std::size_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--banks") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.banks = static_cast<std::size_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--policy") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      if (std::strcmp(value, "fcfs") == 0) {
+        cfg.policy = engine::SchedulingPolicy::kFcfs;
+      } else if (std::strcmp(value, "read-priority") == 0) {
+        cfg.policy = engine::SchedulingPolicy::kReadPriority;
+      } else {
+        std::fprintf(stderr,
+                     "error: unknown policy '%s' (want fcfs or "
+                     "read-priority)\n",
+                     value);
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--workload") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      if (std::strcmp(value, "poisson") == 0) {
+        cfg.workload = engine::WorkloadKind::kPoisson;
+      } else if (std::strcmp(value, "closed") == 0) {
+        cfg.workload = engine::WorkloadKind::kClosedLoop;
+      } else if (std::strcmp(value, "trace") == 0) {
+        cfg.workload = engine::WorkloadKind::kTrace;
+      } else {
+        std::fprintf(stderr,
+                     "error: unknown workload '%s' (want poisson, closed "
+                     "or trace)\n",
+                     value);
+        return 2;
+      }
+    } else if (std::strcmp(flag, "--rho") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.utilization = std::atof(value);
+    } else if (std::strcmp(flag, "--read-fraction") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.read_fraction = std::atof(value);
+    } else if (std::strcmp(flag, "--clients") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.clients = static_cast<std::size_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--think-ns") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.think_time = Second(std::atof(value) * 1e-9);
+    } else if (std::strcmp(flag, "--seed") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--word-bits") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      cfg.word_bits = static_cast<std::size_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--trace-file") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      trace_path = value;
+    } else {
+      std::fprintf(stderr, "error: unknown flag '%s' for 'traffic'\n",
+                   flag);
+      return 2;
+    }
+  }
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path);
+    if (!in) {
+      std::fprintf(stderr, "error: cannot open trace file '%s'\n",
+                   trace_path.c_str());
+      return 2;
+    }
+    cfg.trace = engine::load_trace_csv(in);
+    cfg.workload = engine::WorkloadKind::kTrace;
+  } else if (cfg.workload == engine::WorkloadKind::kTrace) {
+    std::fprintf(stderr,
+                 "error: --workload trace requires --trace-file <csv>\n");
+    return 2;
+  }
+
+  const engine::TrafficReport r = engine::run_traffic(cfg);
+  std::printf("%s, %zu banks, %s workload, %zu requests "
+              "(%zu reads / %zu writes)\n",
+              r.scheme.c_str(), cfg.banks,
+              cfg.workload == engine::WorkloadKind::kPoisson ? "poisson"
+              : cfg.workload == engine::WorkloadKind::kClosedLoop
+                  ? "closed-loop"
+                  : "trace",
+              r.requests, r.reads, r.writes);
+  std::printf("service: read %s, write %s\n", format(r.read_service).c_str(),
+              format(r.write_service).c_str());
+  TextTable t({"metric", "value"});
+  t.add_row({"mean latency", format(r.mean_latency)});
+  t.add_row({"p50 latency", format(r.p50_latency)});
+  t.add_row({"p90 latency", format(r.p90_latency)});
+  t.add_row({"p99 latency", format(r.p99_latency)});
+  t.add_row({"max latency", format(r.max_latency)});
+  t.add_row({"mean read latency", format(r.mean_read_latency)});
+  t.add_row({"mean write latency", format(r.mean_write_latency)});
+  t.add_row({"mean queue wait", format(r.mean_queue_wait)});
+  t.add_row({"makespan", format(r.makespan)});
+  t.add_row({"sustained bandwidth",
+             format_double(r.sustained_bandwidth_mbps, 5) + " Mb/s"});
+  t.add_row({"avg bank utilization",
+             format_percent(r.avg_bank_utilization)});
+  t.add_row({"peak queue depth", std::to_string(r.peak_queue_depth)});
+  t.add_row({"total energy", format(r.total_energy)});
+  t.add_row({"energy per bit",
+             format_double(r.energy_per_bit_pj, 4) + " pJ"});
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_stats(int argc, char** argv) {
+  if (!reject_unknown_flags(argc, argv)) return 2;
   // Self-profiling snapshot: run one representative workload from each
   // instrumented subsystem with telemetry forced on, then print the
   // registry.  Shows which solver/MC counters a real run would carry.
@@ -211,13 +384,18 @@ int cmd_stats(int, char**) {
     YieldConfig cfg;
     cfg.geometry = {32, 32};
     cfg.max_scatter_points = 1;
-    run_yield_experiment(cfg);
+    run_yield_experiment(cfg, g_executor);
   }
   {
     SpiceReadConfig cfg;
     simulate_nondestructive_read(cfg);  // exercises the MNA Newton solver
   }
-  estimate_margin_tail(TailConfig{}, 1, 4000);
+  estimate_margin_tail(TailConfig{}, 1, 4000, g_executor);
+  {
+    engine::TrafficConfig cfg;
+    cfg.requests = 20000;
+    engine::run_traffic(cfg);
+  }
 
   const auto& registry = obs::Registry::instance();
   TextTable t({"metric", "count", "value | mean", "min", "max"});
@@ -241,21 +419,31 @@ int cmd_stats(int, char**) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  // Peel off the global telemetry flags; everything else is forwarded to
-  // the subcommand untouched, so numerical output is independent of them.
+  // Peel off the global flags; everything else is forwarded to the
+  // subcommand untouched, so numerical output is independent of them.
   std::string metrics_path;
   std::string trace_path;
+  long threads = 1;
   std::vector<char*> args;
   args.push_back(argv[0]);
   for (int k = 1; k < argc; ++k) {
     const bool is_metrics = std::strcmp(argv[k], "--metrics") == 0;
     const bool is_trace = std::strcmp(argv[k], "--trace") == 0;
-    if (is_metrics || is_trace) {
+    const bool is_threads = std::strcmp(argv[k], "--threads") == 0;
+    if (is_metrics || is_trace || is_threads) {
       if (k + 1 >= argc) {
-        std::fprintf(stderr, "error: %s requires a file path\n", argv[k]);
+        std::fprintf(stderr, "error: %s requires a value\n", argv[k]);
         return 2;
       }
-      (is_metrics ? metrics_path : trace_path) = argv[++k];
+      if (is_threads) {
+        threads = std::atol(argv[++k]);
+        if (threads < 1) {
+          std::fprintf(stderr, "error: --threads wants a count >= 1\n");
+          return 2;
+        }
+      } else {
+        (is_metrics ? metrics_path : trace_path) = argv[++k];
+      }
     } else {
       args.push_back(argv[k]);
     }
@@ -264,28 +452,45 @@ int main(int argc, char** argv) {
     std::fprintf(
         stderr,
         "usage: sttram_cli [--metrics <file>] [--trace <file>] "
-        "{margins|design|robustness|yield|tail|read|transient|stats} "
-        "[args]\n");
+        "[--threads <n>] "
+        "{margins|design|robustness|yield|tail|read|transient|traffic|"
+        "stats} [args]\n");
     return 2;
   }
   if (!metrics_path.empty()) obs::set_metrics_enabled(true);
   if (!trace_path.empty()) obs::TraceRecorder::instance().start();
+  std::unique_ptr<engine::ThreadPool> pool;
+  if (threads > 1) {
+    pool = std::make_unique<engine::ThreadPool>(
+        static_cast<std::size_t>(threads));
+    g_executor = pool.get();
+  }
 
   const int sub_argc = static_cast<int>(args.size());
   char** sub_argv = args.data();
   const std::string cmd = sub_argv[1];
   int rc = 2;
-  if (cmd == "margins") rc = cmd_margins(sub_argc, sub_argv);
-  else if (cmd == "design") rc = cmd_design(sub_argc, sub_argv);
-  else if (cmd == "robustness") rc = cmd_robustness(sub_argc, sub_argv);
-  else if (cmd == "yield") rc = cmd_yield(sub_argc, sub_argv);
-  else if (cmd == "tail") rc = cmd_tail(sub_argc, sub_argv);
-  else if (cmd == "read") rc = cmd_read(sub_argc, sub_argv);
-  else if (cmd == "transient") rc = cmd_transient(sub_argc, sub_argv);
-  else if (cmd == "stats") rc = cmd_stats(sub_argc, sub_argv);
-  else {
-    std::fprintf(stderr, "unknown command '%s'\n", cmd.c_str());
-    return 2;
+  try {
+    if (cmd == "margins") rc = cmd_margins(sub_argc, sub_argv);
+    else if (cmd == "design") rc = cmd_design(sub_argc, sub_argv);
+    else if (cmd == "robustness") rc = cmd_robustness(sub_argc, sub_argv);
+    else if (cmd == "yield") rc = cmd_yield(sub_argc, sub_argv);
+    else if (cmd == "tail") rc = cmd_tail(sub_argc, sub_argv);
+    else if (cmd == "read") rc = cmd_read(sub_argc, sub_argv);
+    else if (cmd == "transient") rc = cmd_transient(sub_argc, sub_argv);
+    else if (cmd == "traffic") rc = cmd_traffic(sub_argc, sub_argv);
+    else if (cmd == "stats") rc = cmd_stats(sub_argc, sub_argv);
+    else {
+      std::fprintf(stderr,
+                   "error: unknown command '%s' (try one of margins, "
+                   "design, robustness, yield, tail, read, transient, "
+                   "traffic, stats)\n",
+                   cmd.c_str());
+      return 2;
+    }
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
   }
 
   try {

@@ -1,0 +1,89 @@
+#include "sttram/engine/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace sttram::engine {
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : threads_(std::max<std::size_t>(threads, 1)) {
+  workers_.reserve(threads_ - 1);
+  for (std::size_t k = 1; k < threads_; ++k) {
+    workers_.emplace_back([this, k] { worker_loop(k); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  work_cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::run_chunk(std::size_t chunk_index) {
+  const ChunkRange range = chunk_range(job_total_, threads_, chunk_index);
+  if (range.empty()) return;
+  (*job_body_)(chunk_index, range.begin, range.end);
+}
+
+void ThreadPool::worker_loop(std::size_t chunk_index) {
+  std::uint64_t seen = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return stopping_ || generation_ != seen; });
+    if (stopping_) return;
+    seen = generation_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      run_chunk(chunk_index);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error != nullptr && first_error_ == nullptr) first_error_ = error;
+    if (--workers_pending_ == 0) done_cv_.notify_one();
+  }
+}
+
+void ThreadPool::for_chunks(
+    std::size_t total,
+    const std::function<void(std::size_t, std::size_t, std::size_t)>&
+        body) {
+  if (total == 0) return;
+  if (threads_ == 1) {
+    body(0, 0, total);
+    return;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    job_total_ = total;
+    job_body_ = &body;
+    workers_pending_ = threads_ - 1;
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+
+  // The calling thread is chunk 0; its exception still waits for the
+  // workers so the job state stays consistent.
+  std::exception_ptr caller_error;
+  try {
+    run_chunk(0);
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return workers_pending_ == 0; });
+  std::exception_ptr error =
+      first_error_ != nullptr ? first_error_ : caller_error;
+  job_body_ = nullptr;
+  first_error_ = nullptr;
+  lock.unlock();
+  if (error != nullptr) std::rethrow_exception(error);
+}
+
+}  // namespace sttram::engine

@@ -29,8 +29,11 @@ void set_metrics_enabled(bool on) {
 }
 
 Registry& Registry::instance() {
-  static Registry registry;
-  return registry;
+  // Leaked on purpose: exporters registered with std::atexit (e.g. the
+  // bench metrics sidecar) may run after function-local statics are
+  // destroyed, so the registry must outlive every atexit handler.
+  static Registry* registry = new Registry;
+  return *registry;
 }
 
 Registry::Registry() {
@@ -44,13 +47,16 @@ Registry::Registry() {
         "spice.transient.runs", "spice.transient.steps_accepted",
         "spice.transient.steps_rejected", "tail.searches",
         "tail.margin_evaluations", "yield.experiments",
-        "yield.margin_evaluations", "yield.margin_failures"}) {
+        "yield.margin_evaluations", "yield.margin_failures",
+        "engine.requests", "engine.reads", "engine.writes"}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
-  for (const char* name : {"mc.trials_per_second", "yield.cells_per_second"}) {
+  for (const char* name : {"mc.trials_per_second", "yield.cells_per_second",
+                           "engine.queue_depth", "engine.bank_utilization"}) {
     gauges_.emplace(name, std::make_unique<Gauge>());
   }
-  for (const char* name : {"mc.trial_seconds", "yield.experiment_seconds"}) {
+  for (const char* name : {"mc.trial_seconds", "yield.experiment_seconds",
+                           "engine.sim_seconds"}) {
     timers_.emplace(name, std::make_unique<Timer>());
   }
 }

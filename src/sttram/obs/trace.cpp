@@ -21,8 +21,10 @@ std::uint64_t current_tid() {
 }  // namespace
 
 TraceRecorder& TraceRecorder::instance() {
-  static TraceRecorder recorder;
-  return recorder;
+  // Leaked on purpose (same reason as Registry::instance): atexit-based
+  // exporters must be able to read the recorder after static destruction.
+  static TraceRecorder* recorder = new TraceRecorder;
+  return *recorder;
 }
 
 void TraceRecorder::start() {

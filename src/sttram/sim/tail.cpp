@@ -1,5 +1,6 @@
 #include "sttram/sim/tail.hpp"
 
+#include <atomic>
 #include <cmath>
 
 #include "sttram/common/error.hpp"
@@ -32,19 +33,21 @@ double nondestructive_margin_at(const TailConfig& config,
 }
 
 TailEstimate estimate_margin_tail(const TailConfig& config,
-                                  std::uint64_t seed, std::size_t trials) {
+                                  std::uint64_t seed, std::size_t trials,
+                                  ParallelExecutor* executor) {
   STTRAM_OBS_COUNT("tail.searches");
   obs::TraceSpan span("estimate_margin_tail", "tail");
-  std::size_t margin_evals = 0;
+  // Atomic: the sampling-phase predicate may run on pool threads.
+  std::atomic<std::size_t> margin_evals{0};
   const auto g = [&](const std::vector<double>& z) {
-    ++margin_evals;
+    margin_evals.fetch_add(1, std::memory_order_relaxed);
     return nondestructive_margin_at(config, z) - config.threshold.value();
   };
   TailEstimate out;
   out.design_point = design_point_on_gradient(g, kTailDimensions);
   if (out.design_point.empty()) {
     // No failure region within the search radius: report zero.
-    STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals);
+    STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals.load());
     out.estimate.trials = trials;
     return out;
   }
@@ -53,8 +56,8 @@ TailEstimate estimate_margin_tail(const TailConfig& config,
   out.design_radius = std::sqrt(r2);
   out.estimate = importance_sample(
       seed, trials, out.design_point,
-      [&](const std::vector<double>& z) { return g(z) < 0.0; });
-  STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals);
+      [&](const std::vector<double>& z) { return g(z) < 0.0; }, executor);
+  STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals.load());
   out.expected_failures_16kb = out.estimate.probability * 16384.0;
   return out;
 }

@@ -42,9 +42,11 @@ struct TailEstimate {
 };
 
 /// Finds the design point of the margin function and importance-samples
-/// the per-bit failure probability.
+/// the per-bit failure probability.  With `executor` set, the sampling
+/// phase runs in parallel (bit-identical; see importance_sample).
 TailEstimate estimate_margin_tail(const TailConfig& config,
                                   std::uint64_t seed = 1,
-                                  std::size_t trials = 20000);
+                                  std::size_t trials = 20000,
+                                  ParallelExecutor* executor = nullptr);
 
 }  // namespace sttram

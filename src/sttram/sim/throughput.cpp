@@ -6,14 +6,19 @@
 #include "sttram/stats/rng.hpp"
 
 namespace sttram {
-namespace {
 
-/// Deterministic write service time: a write pulse plus driver overhead
-/// and precharge (shared by all schemes).
 Second write_service_time(const ReadTimingParams& timing) {
   return timing.t_precharge + timing.t_write_pulse +
          timing.t_write_overhead;
 }
+
+Joule write_access_energy(const CostComparisonConfig& cost_config) {
+  OneT1JCell probe;
+  return probe.pulse_energy(cost_config.write_current,
+                            cost_config.timing.t_write_pulse);
+}
+
+namespace {
 
 /// Exponential deviate with the given mean.
 double sample_exponential(Xoshiro256& rng, double mean) {
@@ -34,11 +39,7 @@ std::vector<BankPerformance> analyze_bank_performance(
 
   const auto costs = compare_scheme_costs(cost_config);
   const Second t_write = write_service_time(cost_config.timing);
-  // Write energy: one pulse through a nominal cell.
-  OneT1JCell probe;
-  const Joule e_write =
-      probe.pulse_energy(cost_config.write_current,
-                         cost_config.timing.t_write_pulse);
+  const Joule e_write = write_access_energy(cost_config);
 
   std::vector<BankPerformance> out;
   out.reserve(costs.size());

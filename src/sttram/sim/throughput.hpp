@@ -39,6 +39,13 @@ struct BankPerformance {
   double energy_per_bit_pj = 0.0;
 };
 
+/// Deterministic write service time: a write pulse plus driver overhead
+/// and precharge (shared by all sensing schemes).
+Second write_service_time(const ReadTimingParams& timing);
+
+/// Energy of one write access: one write pulse through a nominal cell.
+Joule write_access_energy(const CostComparisonConfig& cost_config);
+
 /// Computes bank performance for the three schemes under a workload.
 /// Service times and energies come from the executable read operations
 /// (compare_scheme_costs); the write path is common to all schemes.

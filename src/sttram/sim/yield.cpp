@@ -1,5 +1,6 @@
 #include "sttram/sim/yield.hpp"
 
+#include <array>
 #include <chrono>
 
 #include "sttram/common/error.hpp"
@@ -27,7 +28,8 @@ void record(SchemeYield& y, const SenseMargins& m, Volt required,
 
 }  // namespace
 
-YieldResult run_yield_experiment(const YieldConfig& config) {
+YieldResult run_yield_experiment(const YieldConfig& config,
+                                 ParallelExecutor* executor) {
   STTRAM_OBS_COUNT("yield.experiments");
   obs::TraceSpan span("run_yield_experiment", "yield");
   const bool metered = obs::metrics_enabled();
@@ -99,44 +101,69 @@ YieldResult run_yield_experiment(const YieldConfig& config) {
     col_ref_ap[c] = variation.sample(stream);
   }
 
-  for (std::size_t row = 0; row < config.geometry.rows; ++row) {
-    for (std::size_t col = 0; col < config.geometry.cols; ++col) {
-      const ArrayCell& cell = array.cell(row, col);
-      const LinearRiModel model(cell.params);
-      const FixedAccessResistor access(cell.r_access);
+  // Per-cell margin computation for all four schemes.  Pure function of
+  // the pre-sampled array and column streams — no RNG, no shared writes —
+  // so cells can be evaluated in any order (or concurrently).
+  const auto compute_cell = [&](std::size_t idx) {
+    const std::size_t row = idx / config.geometry.cols;
+    const std::size_t col = idx % config.geometry.cols;
+    const ArrayCell& cell = array.cell(row, col);
+    const LinearRiModel model(cell.params);
+    const FixedAccessResistor access(cell.r_access);
 
-      // Conventional sensing against the shared reference (with the
-      // column's reference-distribution error).
-      const ConventionalSensing conv(model, access, config.selfref.i_max);
-      const Volt v_ref = result.shared_v_ref + Volt(col_vref_err[col]);
-      record(result.conventional, conv.margins(v_ref),
-             config.required_margin, keep_every);
+    std::array<SenseMargins, 4> margins;
+    // Conventional sensing against the shared reference (with the
+    // column's reference-distribution error).
+    const ConventionalSensing conv(model, access, config.selfref.i_max);
+    const Volt v_ref = result.shared_v_ref + Volt(col_vref_err[col]);
+    margins[0] = conv.margins(v_ref);
 
-      // Reference-cell sensing against the column's reference pair.
-      const LinearRiModel ref_p_model(col_ref_p[col]);
-      const LinearRiModel ref_ap_model(col_ref_ap[col]);
-      const ReferenceCellSensing ref_cell(model, access, ref_p_model,
-                                          ref_ap_model,
-                                          config.selfref.i_max);
-      record(result.reference_cell, ref_cell.margins(),
-             config.required_margin, keep_every);
+    // Reference-cell sensing against the column's reference pair.
+    const LinearRiModel ref_p_model(col_ref_p[col]);
+    const LinearRiModel ref_ap_model(col_ref_ap[col]);
+    const ReferenceCellSensing ref_cell(model, access, ref_p_model,
+                                        ref_ap_model, config.selfref.i_max);
+    margins[1] = ref_cell.margins();
 
-      SchemeMismatch mm;
-      mm.beta_deviation = col_beta_dev[col];
+    SchemeMismatch mm;
+    mm.beta_deviation = col_beta_dev[col];
+    const DestructiveSelfReference destructive(model, access,
+                                               config.selfref);
+    margins[2] = destructive.margins(result.beta_destructive, mm);
 
-      const DestructiveSelfReference destructive(model, access,
-                                                 config.selfref);
-      record(result.destructive,
-             destructive.margins(result.beta_destructive, mm),
-             config.required_margin, keep_every);
+    mm.alpha_deviation = col_alpha_dev[col];
+    const NondestructiveSelfReference nondestructive(model, access,
+                                                     config.selfref);
+    margins[3] = nondestructive.margins(result.beta_nondestructive, mm);
+    return margins;
+  };
 
-      mm.alpha_deviation = col_alpha_dev[col];
-      const NondestructiveSelfReference nondestructive(model, access,
-                                                       config.selfref);
-      record(result.nondestructive,
-             nondestructive.margins(result.beta_nondestructive, mm),
-             config.required_margin, keep_every);
+  std::vector<std::array<SenseMargins, 4>> cell_margins(cells);
+  if (executor != nullptr && executor->thread_count() > 1) {
+    executor->for_chunks(
+        cells, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t idx = begin; idx < end; ++idx) {
+            cell_margins[idx] = compute_cell(idx);
+          }
+        });
+  } else {
+    for (std::size_t idx = 0; idx < cells; ++idx) {
+      cell_margins[idx] = compute_cell(idx);
     }
+  }
+
+  // Serial accumulation in row-major order: RunningStats and the scatter
+  // subsampling are order-sensitive, so this pass is what keeps the
+  // result bit-identical for any thread count.
+  for (const auto& margins : cell_margins) {
+    record(result.conventional, margins[0], config.required_margin,
+           keep_every);
+    record(result.reference_cell, margins[1], config.required_margin,
+           keep_every);
+    record(result.destructive, margins[2], config.required_margin,
+           keep_every);
+    record(result.nondestructive, margins[3], config.required_margin,
+           keep_every);
   }
   if (metered) {
     const double elapsed =
@@ -154,13 +181,14 @@ YieldResult run_yield_experiment(const YieldConfig& config) {
 }
 
 std::vector<YieldSweepPoint> sweep_variation(
-    const YieldConfig& base, const std::vector<double>& sigmas) {
+    const YieldConfig& base, const std::vector<double>& sigmas,
+    ParallelExecutor* executor) {
   std::vector<YieldSweepPoint> out;
   out.reserve(sigmas.size());
   for (const double sigma : sigmas) {
     YieldConfig cfg = base;
     cfg.variation.sigma_common = sigma;
-    const YieldResult r = run_yield_experiment(cfg);
+    const YieldResult r = run_yield_experiment(cfg, executor);
     YieldSweepPoint p;
     p.sigma_common = sigma;
     p.conventional_failure_rate = r.conventional.failure_rate();

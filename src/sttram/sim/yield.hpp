@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "sttram/cell/array.hpp"
+#include "sttram/common/parallel.hpp"
 #include "sttram/sense/margins.hpp"
 #include "sttram/stats/summary.hpp"
 
@@ -82,8 +83,12 @@ struct YieldResult {
   double beta_nondestructive = 0.0;
 };
 
-/// Runs the full experiment.  Deterministic for a given config.
-YieldResult run_yield_experiment(const YieldConfig& config);
+/// Runs the full experiment.  Deterministic for a given config; with
+/// `executor` set, per-cell margins are computed in parallel and
+/// accumulated serially in row-major order, so the result is
+/// bit-identical for any thread count.
+YieldResult run_yield_experiment(const YieldConfig& config,
+                                 ParallelExecutor* executor = nullptr);
 
 /// Failure-rate sweep over the common-mode variation sigma — used to
 /// calibrate the variation model to the paper's ~1 % conventional-scheme
@@ -94,7 +99,8 @@ struct YieldSweepPoint {
   double destructive_failure_rate = 0.0;
   double nondestructive_failure_rate = 0.0;
 };
-std::vector<YieldSweepPoint> sweep_variation(const YieldConfig& base,
-                                             const std::vector<double>& sigmas);
+std::vector<YieldSweepPoint> sweep_variation(
+    const YieldConfig& base, const std::vector<double>& sigmas,
+    ParallelExecutor* executor = nullptr);
 
 }  // namespace sttram

@@ -13,6 +13,7 @@
 #include <functional>
 #include <vector>
 
+#include "sttram/common/parallel.hpp"
 #include "sttram/stats/rng.hpp"
 
 namespace sttram {
@@ -29,9 +30,15 @@ struct ImportanceEstimate {
 /// Estimates P(fails(z)) for z ~ N(0, I)^d by drawing from the shifted
 /// proposal N(shift, I)^d and reweighting each sample with
 /// w = exp(-shift . z + |shift|^2 / 2).
+///
+/// With `executor` set, trial chunks run concurrently; per-trial weights
+/// are stored and reduced serially in trial order afterwards, so the
+/// estimate is bit-identical for any thread count.  `fails` must then be
+/// safe to call concurrently.
 ImportanceEstimate importance_sample(
     std::uint64_t seed, std::size_t trials, const std::vector<double>& shift,
-    const std::function<bool(const std::vector<double>&)>& fails);
+    const std::function<bool(const std::vector<double>&)>& fails,
+    ParallelExecutor* executor = nullptr);
 
 /// Finds the failure design point for a smooth performance function
 /// g(z) (g >= 0 is a pass, g < 0 a failure, g(0) > 0 required): walks

@@ -19,19 +19,43 @@ RunningStats monte_carlo_stats(
               : nullptr;
   const std::size_t stride = detail::progress_stride(options, trials);
   const auto t_begin = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < trials; ++i) {
-    Xoshiro256 stream = master.fork(i);
-    if (latency != nullptr) {
-      const auto t0 = std::chrono::steady_clock::now();
-      stats.add(trial_fn(stream));
-      latency->record(std::chrono::duration<double>(
-                          std::chrono::steady_clock::now() - t0)
-                          .count());
-    } else {
-      stats.add(trial_fn(stream));
-    }
-    if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
-      options.progress(i + 1, trials);
+  if (detail::parallel_requested(options)) {
+    // Sample in parallel, then reduce serially in trial order — Welford
+    // accumulation is order-sensitive, so this is what keeps the result
+    // bit-identical to the serial run.
+    std::vector<double> values(trials, 0.0);
+    options.executor->for_chunks(
+        trials, [&](std::size_t, std::size_t begin, std::size_t end) {
+          for (std::size_t i = begin; i < end; ++i) {
+            Xoshiro256 stream = master.fork(i);
+            if (latency != nullptr) {
+              const auto t0 = std::chrono::steady_clock::now();
+              values[i] = trial_fn(stream);
+              latency->record(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+            } else {
+              values[i] = trial_fn(stream);
+            }
+          }
+        });
+    for (const double v : values) stats.add(v);
+    if (options.progress) options.progress(trials, trials);
+  } else {
+    for (std::size_t i = 0; i < trials; ++i) {
+      Xoshiro256 stream = master.fork(i);
+      if (latency != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        stats.add(trial_fn(stream));
+        latency->record(std::chrono::duration<double>(
+                            std::chrono::steady_clock::now() - t0)
+                            .count());
+      } else {
+        stats.add(trial_fn(stream));
+      }
+      if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
+        options.progress(i + 1, trials);
+      }
     }
   }
   if (metered) {
@@ -74,11 +98,27 @@ ProbabilityEstimate estimate_probability(
   const bool metered = obs::metrics_enabled();
   const std::size_t stride = detail::progress_stride(options, trials);
   const auto t_begin = std::chrono::steady_clock::now();
-  for (std::size_t i = 0; i < trials; ++i) {
-    Xoshiro256 stream = master.fork(i);
-    if (predicate(stream)) ++hits;
-    if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
-      options.progress(i + 1, trials);
+  if (detail::parallel_requested(options)) {
+    // Hit counts are integers, so per-chunk tallies sum exactly.
+    std::vector<std::size_t> chunk_hits(options.executor->thread_count(), 0);
+    options.executor->for_chunks(
+        trials, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          std::size_t local = 0;
+          for (std::size_t i = begin; i < end; ++i) {
+            Xoshiro256 stream = master.fork(i);
+            if (predicate(stream)) ++local;
+          }
+          chunk_hits[chunk] = local;
+        });
+    for (const std::size_t h : chunk_hits) hits += h;
+    if (options.progress) options.progress(trials, trials);
+  } else {
+    for (std::size_t i = 0; i < trials; ++i) {
+      Xoshiro256 stream = master.fork(i);
+      if (predicate(stream)) ++hits;
+      if (options.progress && ((i + 1) % stride == 0 || i + 1 == trials)) {
+        options.progress(i + 1, trials);
+      }
     }
   }
   if (metered) {

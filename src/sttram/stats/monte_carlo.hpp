@@ -8,6 +8,7 @@
 #include <functional>
 #include <vector>
 
+#include "sttram/common/parallel.hpp"
 #include "sttram/obs/metrics.hpp"
 #include "sttram/obs/trace.hpp"
 #include "sttram/stats/rng.hpp"
@@ -20,10 +21,16 @@ namespace sttram {
 /// the sampled streams, so results are identical with or without it.
 struct MonteCarloOptions {
   /// Called as progress(done, total) every `progress_interval` trials
-  /// and once after the final trial; null disables reporting.
+  /// and once after the final trial; null disables reporting.  Under a
+  /// parallel executor progress fires once, after the final trial.
   std::function<void(std::size_t done, std::size_t total)> progress;
   /// 0 = auto (about 1% of the run, at least every trial).
   std::size_t progress_interval = 0;
+  /// Optional parallel executor (not owned).  Null or single-threaded
+  /// runs serially.  Trial i sees the same RNG stream either way and
+  /// reductions happen serially in trial order, so results are
+  /// bit-identical for any thread count.
+  ParallelExecutor* executor = nullptr;
 };
 
 namespace detail {
@@ -45,12 +52,20 @@ inline void publish_mc_throughput(std::size_t trials, double elapsed_s) {
   }
 }
 
+/// True when `options` asks for a genuinely parallel run.
+inline bool parallel_requested(const MonteCarloOptions& options) {
+  return options.executor != nullptr && options.executor->thread_count() > 1;
+}
+
 }  // namespace detail
 
 /// Runs `trials` independent trials of `trial_fn`, each with its own
 /// decorrelated RNG stream derived from `seed`, and returns all results.
 /// Trial i always sees the same stream regardless of how many trials are
 /// requested, so extending a run keeps earlier samples identical.
+/// With options.executor set, chunks of trials run concurrently and the
+/// per-chunk results are concatenated in chunk order — the returned
+/// vector is bit-identical to the serial run.
 template <typename T>
 std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
                                const std::function<T(Xoshiro256&)>& trial_fn,
@@ -65,6 +80,37 @@ std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
               : nullptr;
   const std::size_t stride = detail::progress_stride(options, trials);
   const auto t_begin = std::chrono::steady_clock::now();
+  if (detail::parallel_requested(options)) {
+    std::vector<std::vector<T>> parts(options.executor->thread_count());
+    options.executor->for_chunks(
+        trials, [&](std::size_t chunk, std::size_t begin, std::size_t end) {
+          std::vector<T>& part = parts[chunk];
+          part.reserve(end - begin);
+          for (std::size_t i = begin; i < end; ++i) {
+            Xoshiro256 stream = master.fork(i);
+            if (latency != nullptr) {
+              const auto t0 = std::chrono::steady_clock::now();
+              part.push_back(trial_fn(stream));
+              latency->record(std::chrono::duration<double>(
+                                  std::chrono::steady_clock::now() - t0)
+                                  .count());
+            } else {
+              part.push_back(trial_fn(stream));
+            }
+          }
+        });
+    for (auto& part : parts) {
+      for (auto& value : part) out.push_back(std::move(value));
+    }
+    if (options.progress) options.progress(trials, trials);
+    if (metered) {
+      detail::publish_mc_throughput(
+          trials, std::chrono::duration<double>(
+                      std::chrono::steady_clock::now() - t_begin)
+                      .count());
+    }
+    return out;
+  }
   for (std::size_t i = 0; i < trials; ++i) {
     Xoshiro256 stream = master.fork(i);
     if (latency != nullptr) {

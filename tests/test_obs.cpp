@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "sttram/engine/bank_sim.hpp"
 #include "sttram/io/json.hpp"
 #include "sttram/obs/obs.hpp"
 #include "sttram/sim/yield.hpp"
@@ -99,6 +100,7 @@ TEST_F(ObsTest, JsonExportCarriesSchemaAndValues) {
   // Pre-registered solver/MC schema is always present, even untouched.
   EXPECT_NE(dump.find("\"spice.newton.iterations\": 0"), std::string::npos);
   EXPECT_NE(dump.find("\"mc.trials\": 0"), std::string::npos);
+  EXPECT_NE(dump.find("\"engine.requests\": 0"), std::string::npos);
   EXPECT_NE(dump.find("\"counters\""), std::string::npos);
   EXPECT_NE(dump.find("\"gauges\""), std::string::npos);
   EXPECT_NE(dump.find("\"timers\""), std::string::npos);
@@ -217,6 +219,37 @@ TEST_F(ObsTest, YieldExperimentIsInvariantUnderInstrumentation) {
   EXPECT_EQ(
       obs::Registry::instance().counter("yield.margin_evaluations").value(),
       4u * 64u);
+}
+
+TEST_F(ObsTest, TrafficRunIsInvariantUnderInstrumentation) {
+  engine::TrafficConfig cfg;
+  cfg.requests = 5000;
+  cfg.banks = 2;
+  const engine::TrafficReport off = engine::run_traffic(cfg);
+  obs::set_metrics_enabled(true);
+  obs::TraceRecorder::instance().start();
+  const engine::TrafficReport on = engine::run_traffic(cfg);
+  obs::TraceRecorder::instance().stop();
+
+  EXPECT_EQ(off.requests, on.requests);
+  EXPECT_EQ(off.reads, on.reads);
+  EXPECT_EQ(off.writes, on.writes);
+  EXPECT_EQ(off.mean_latency.value(), on.mean_latency.value());
+  EXPECT_EQ(off.p50_latency.value(), on.p50_latency.value());
+  EXPECT_EQ(off.p99_latency.value(), on.p99_latency.value());
+  EXPECT_EQ(off.makespan.value(), on.makespan.value());
+  EXPECT_EQ(off.sustained_bandwidth_mbps, on.sustained_bandwidth_mbps);
+  EXPECT_EQ(off.avg_bank_utilization, on.avg_bank_utilization);
+  EXPECT_EQ(off.peak_queue_depth, on.peak_queue_depth);
+  EXPECT_EQ(off.total_energy.value(), on.total_energy.value());
+  // The instrumented run recorded its work.
+  auto& registry = obs::Registry::instance();
+  EXPECT_EQ(registry.counter("engine.requests").value(), 5000u);
+  EXPECT_EQ(registry.counter("engine.reads").value(), on.reads);
+  EXPECT_EQ(registry.counter("engine.writes").value(), on.writes);
+  EXPECT_EQ(registry.timer("engine.sim_seconds").snapshot().count(), 1u);
+  EXPECT_EQ(registry.gauge("engine.queue_depth").value(),
+            static_cast<double>(on.peak_queue_depth));
 }
 
 TEST_F(ObsTest, ProgressCallbackReportsCompletion) {
