@@ -8,13 +8,11 @@
 //   sttram_cli read [0|1]             execute a read + Fig. 9 timing diagram
 //   sttram_cli transient [0|1]        circuit-level (MNA) read summary
 //   sttram_cli traffic [flags]        discrete-event bank traffic simulation
+//   sttram_cli fault [flags]          inject faults, march, report coverage
 //   sttram_cli stats                  telemetry snapshot of a demo workload
 //
-// Global flags (before or after the subcommand):
-//   --metrics <file>   enable telemetry; dump the metrics registry as JSON
-//   --trace <file>     record scoped spans; dump chrome://tracing JSON
-//   --threads <n>      thread pool for the Monte-Carlo drivers (default 1;
-//                      results are bit-identical for any thread count)
+// Run `sttram_cli --help` for the full command and flag reference (the
+// same text is printed for -h, --help and the help command).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -25,6 +23,7 @@
 
 #include "sttram/common/format.hpp"
 #include "sttram/engine/bank_sim.hpp"
+#include "sttram/fault/fault.hpp"
 #include "sttram/engine/thread_pool.hpp"
 #include "sttram/engine/workload.hpp"
 #include "sttram/io/json.hpp"
@@ -44,6 +43,89 @@ namespace {
 
 /// Shared executor from the global --threads flag (null = serial).
 ParallelExecutor* g_executor = nullptr;
+
+/// The one help text: printed verbatim for -h, --help and `help`, and
+/// checked by tests/cli_help_test.sh against every flag the parsers
+/// accept and by tools/check_docs.sh against the README CLI reference.
+void print_help() {
+  std::printf(
+      "sttram_cli - one entry point over the STT-RAM library\n"
+      "\n"
+      "usage: sttram_cli [global flags] <command> [args]\n"
+      "\n"
+      "Commands:\n"
+      "  margins [beta]           scheme sense margins on the calibrated "
+      "device\n"
+      "  design                   automatic nondestructive-read design\n"
+      "  robustness               Table II deviation windows for both "
+      "schemes\n"
+      "  yield [rows cols sigma]  array yield across the four schemes\n"
+      "                             --json             machine-readable "
+      "output\n"
+      "                             --faults <density> overlay a fault "
+      "campaign,\n"
+      "                                                report raw vs "
+      "post-ECC BER\n"
+      "                             --ecc              SECDED(72,64) over "
+      "each word\n"
+      "                             --retry <n>        read attempts "
+      "(default 1)\n"
+      "  tail [margin_mv]         importance-sampled failure-tail "
+      "estimate\n"
+      "  read [0|1]               execute one read + Fig. 9 timing "
+      "diagram\n"
+      "  transient [0|1]          circuit-level (MNA) read summary\n"
+      "  traffic [flags]          discrete-event bank traffic simulation\n"
+      "                             --scheme <conventional|destructive|"
+      "nondestructive>\n"
+      "                             --requests <n>     request count\n"
+      "                             --banks <n>        bank count\n"
+      "                             --policy <fcfs|read-priority>\n"
+      "                             --workload <poisson|closed|trace>\n"
+      "                             --rho <f>          per-bank offered "
+      "load\n"
+      "                             --read-fraction <f>\n"
+      "                             --clients <n>      closed-loop "
+      "population\n"
+      "                             --think-ns <f>     closed-loop think "
+      "time\n"
+      "                             --seed <n>         workload seed\n"
+      "                             --word-bits <n>    bits per access\n"
+      "                             --trace-file <csv> replay a request "
+      "trace\n"
+      "                             --faults <ber>     per-bit read error "
+      "rate\n"
+      "                             --ecc              SECDED + retry "
+      "recovery\n"
+      "                             --retry <n>        max read attempts "
+      "(default 3)\n"
+      "  fault [flags]            inject a fault map, run March C- with "
+      "every\n"
+      "                           scheme, report per-class detection "
+      "coverage\n"
+      "                             --seed <n>         fault-map seed "
+      "(default 1)\n"
+      "                             --rows <n>         array rows "
+      "(default 64)\n"
+      "                             --cols <n>         array columns "
+      "(default 64)\n"
+      "                             --density <f>      total fault "
+      "density (default 0.01)\n"
+      "                             --json             machine-readable "
+      "output\n"
+      "  stats                    telemetry snapshot of a demo workload\n"
+      "  help                     print this help (same as -h / --help)\n"
+      "\n"
+      "Global flags (before or after the command):\n"
+      "  --metrics <file>   enable telemetry; dump the metrics registry "
+      "as JSON\n"
+      "  --trace <file>     record scoped spans; dump chrome://tracing "
+      "JSON\n"
+      "  --threads <n>      thread pool for the Monte-Carlo drivers "
+      "(default 1;\n"
+      "                     results are bit-identical for any thread "
+      "count)\n");
+}
 
 /// Rejects any "--flag" token the subcommand does not understand.
 /// `allowed` is a null-terminated list of accepted flag spellings.
@@ -135,14 +217,29 @@ int cmd_robustness(int argc, char** argv) {
 }
 
 int cmd_yield(int argc, char** argv) {
-  static const char* const kFlags[] = {"--json", nullptr};
+  static const char* const kFlags[] = {"--json", "--faults", "--ecc",
+                                       "--retry", nullptr};
   if (!reject_unknown_flags(argc, argv, kFlags)) return 2;
   YieldConfig cfg;
   bool as_json = false;
+  double fault_density = -1.0;
+  bool ecc = false;
+  long retry = 1;
   int positional = 0;
   std::size_t rows = 0, cols = 0;
   for (int k = 2; k < argc; ++k) {
-    if (std::strcmp(argv[k], "--json") == 0) {
+    const bool is_faults = std::strcmp(argv[k], "--faults") == 0;
+    const bool is_retry = std::strcmp(argv[k], "--retry") == 0;
+    if (is_faults || is_retry) {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", argv[k]);
+        return 2;
+      }
+      if (is_faults) fault_density = std::atof(argv[++k]);
+      else retry = std::atol(argv[++k]);
+    } else if (std::strcmp(argv[k], "--ecc") == 0) {
+      ecc = true;
+    } else if (std::strcmp(argv[k], "--json") == 0) {
       as_json = true;
     } else if (positional == 0) {
       rows = static_cast<std::size_t>(std::atoi(argv[k]));
@@ -154,8 +251,69 @@ int cmd_yield(int argc, char** argv) {
       cfg.variation.sigma_common = std::atof(argv[k]);
     }
   }
+  if ((ecc || retry > 1) && fault_density < 0.0) {
+    std::fprintf(stderr,
+                 "error: --ecc / --retry need --faults <density>\n");
+    return 2;
+  }
+  if (retry < 1) {
+    std::fprintf(stderr, "error: --retry wants a count >= 1\n");
+    return 2;
+  }
   if (rows > 0 && cols > 0) cfg.geometry = {rows, cols};
   cfg.max_scatter_points = 1;
+
+  if (fault_density >= 0.0) {
+    // Fault overlay: the plain yield path below stays untouched so
+    // fault-free runs are bit-identical to earlier releases.
+    const fault::FaultConfig faults =
+        fault::FaultConfig::with_total_density(fault_density);
+    fault::BerConfig ber;
+    ber.ecc = ecc;
+    ber.read_attempts = static_cast<std::uint32_t>(retry);
+    const fault::FaultYieldResult r =
+        fault::run_yield_with_faults(cfg, faults, ber, g_executor);
+    const auto schemes = {&r.conventional, &r.reference_cell,
+                          &r.destructive, &r.nondestructive};
+    if (as_json) {
+      Json out = Json::object();
+      out.set("bits", Json::integer(static_cast<std::int64_t>(
+                          cfg.geometry.cell_count())));
+      out.set("fault_density", Json::number(fault_density));
+      out.set("faulty_bits", Json::integer(static_cast<std::int64_t>(
+                                 r.faulty_bits)));
+      out.set("ecc", Json::boolean(ecc));
+      out.set("read_attempts", Json::integer(retry));
+      Json arr = Json::array();
+      for (const fault::SchemeBer* s : schemes) {
+        Json j = Json::object();
+        j.set("scheme", Json::string(s->scheme));
+        j.set("raw_ber", Json::number(s->raw_ber));
+        j.set("hard_bit_fraction", Json::number(s->hard_bit_fraction));
+        j.set("post_ecc_wer", Json::number(s->post_ecc_wer));
+        j.set("post_ecc_ber", Json::number(s->post_ecc_ber));
+        arr.push_back(std::move(j));
+      }
+      out.set("schemes", std::move(arr));
+      std::printf("%s\n", out.dump(2).c_str());
+      return 0;
+    }
+    std::printf("%zu faulty bits of %zu (density %.4g, ECC %s, "
+                "%ld attempt%s)\n",
+                r.faulty_bits, cfg.geometry.cell_count(), fault_density,
+                ecc ? "on" : "off", retry, retry == 1 ? "" : "s");
+    TextTable t({"scheme", "raw BER", "hard bits", "post-ECC WER",
+                 "post-ECC BER"});
+    for (const fault::SchemeBer* s : schemes) {
+      t.add_row({s->scheme, format_double(s->raw_ber, 4),
+                 format_double(s->hard_bit_fraction, 4),
+                 format_double(s->post_ecc_wer, 4),
+                 format_double(s->post_ecc_ber, 6)});
+    }
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  }
+
   const YieldResult r = run_yield_experiment(cfg, g_executor);
   if (as_json) {
     Json out = Json::object();
@@ -246,6 +404,9 @@ int cmd_transient(int argc, char** argv) {
 int cmd_traffic(int argc, char** argv) {
   engine::TrafficConfig cfg;
   std::string trace_path;
+  double fault_ber = -1.0;
+  bool ecc = false;
+  long retry = 3;
   const auto flag_value = [&](int& k) -> const char* {
     if (k + 1 >= argc) {
       std::fprintf(stderr, "error: %s requires a value\n", argv[k]);
@@ -320,6 +481,14 @@ int cmd_traffic(int argc, char** argv) {
     } else if (std::strcmp(flag, "--trace-file") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       trace_path = value;
+    } else if (std::strcmp(flag, "--faults") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      fault_ber = std::atof(value);
+    } else if (std::strcmp(flag, "--ecc") == 0) {
+      ecc = true;
+    } else if (std::strcmp(flag, "--retry") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      retry = std::atol(value);
     } else {
       std::fprintf(stderr, "error: unknown flag '%s' for 'traffic'\n",
                    flag);
@@ -339,6 +508,29 @@ int cmd_traffic(int argc, char** argv) {
     std::fprintf(stderr,
                  "error: --workload trace requires --trace-file <csv>\n");
     return 2;
+  }
+  if (ecc && fault_ber < 0.0) {
+    std::fprintf(stderr, "error: --ecc needs --faults <ber>\n");
+    return 2;
+  }
+  if (retry < 1) {
+    std::fprintf(stderr, "error: --retry wants a count >= 1\n");
+    return 2;
+  }
+  std::unique_ptr<fault::TrafficFaultModel> fault_model;
+  if (fault_ber >= 0.0) {
+    fault::TrafficFaultConfig fc;
+    fc.raw_ber = fault_ber;
+    fc.ecc = ecc;
+    fc.max_attempts = static_cast<std::uint32_t>(retry);
+    // A retry re-runs the whole read: charge the scheme's service time.
+    const engine::BankTiming timing =
+        engine::scheme_bank_timing(cfg.scheme, cfg.cost);
+    fc.retry_latency = timing.read_service;
+    fc.retry_energy = timing.read_energy;
+    fc.seed = cfg.seed ^ 0x5717fa7ee1dULL;
+    fault_model = std::make_unique<fault::TrafficFaultModel>(fc);
+    cfg.faults = fault_model.get();
   }
 
   const engine::TrafficReport r = engine::run_traffic(cfg);
@@ -370,6 +562,151 @@ int cmd_traffic(int argc, char** argv) {
   t.add_row({"total energy", format(r.total_energy)});
   t.add_row({"energy per bit",
              format_double(r.energy_per_bit_pj, 4) + " pJ"});
+  if (r.faults_enabled) {
+    t.add_row({"raw bit errors", std::to_string(r.faults.raw_bit_errors)});
+    t.add_row({"faulty reads", std::to_string(r.faults.faulty_reads)});
+    t.add_row({"retries", std::to_string(r.faults.retries)});
+    t.add_row({"ECC corrected", std::to_string(r.faults.corrected_words)});
+    t.add_row({"ECC uncorrectable",
+               std::to_string(r.faults.uncorrectable_words)});
+    t.add_row({"silent corruptions",
+               std::to_string(r.faults.silent_corruptions)});
+    t.add_row({"recovery latency", format(r.faults.extra_latency)});
+    t.add_row({"recovery energy", format(r.faults.extra_energy)});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
+int cmd_fault(int argc, char** argv) {
+  static const char* const kFlags[] = {"--seed", "--rows", "--cols",
+                                       "--density", "--json", nullptr};
+  if (!reject_unknown_flags(argc, argv, kFlags)) return 2;
+  std::uint64_t seed = 1;
+  std::size_t rows = 64, cols = 64;
+  double density = 0.01;
+  bool as_json = false;
+  for (int k = 2; k < argc; ++k) {
+    const char* flag = argv[k];
+    if (std::strcmp(flag, "--json") == 0) {
+      as_json = true;
+      continue;
+    }
+    if (k + 1 >= argc) {
+      std::fprintf(stderr, "error: %s requires a value\n", flag);
+      return 2;
+    }
+    const char* value = argv[++k];
+    if (std::strcmp(flag, "--seed") == 0) {
+      seed = static_cast<std::uint64_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--rows") == 0) {
+      rows = static_cast<std::size_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--cols") == 0) {
+      cols = static_cast<std::size_t>(std::atoll(value));
+    } else if (std::strcmp(flag, "--density") == 0) {
+      density = std::atof(value);
+    }
+  }
+  if (rows == 0 || cols == 0) {
+    std::fprintf(stderr, "error: --rows / --cols must be > 0\n");
+    return 2;
+  }
+
+  const ArrayGeometry geometry{rows, cols};
+  const fault::FaultConfig config =
+      fault::FaultConfig::with_total_density(density);
+  const fault::FaultMap map =
+      fault::generate_fault_map(geometry, config, seed, g_executor);
+  // No process variation: every flagged cell is then attributable to an
+  // injected fault (extra_flags isolates scheme-induced misreads).
+  const MtjVariationModel variation(MtjParams::paper_calibrated(),
+                                    VariationParams::none());
+
+  struct Run {
+    ReadScheme scheme;
+    fault::MarchCoverageReport report;
+  };
+  std::vector<Run> runs;
+  for (const ReadScheme scheme :
+       {ReadScheme::kConventional, ReadScheme::kDestructive,
+        ReadScheme::kNondestructive}) {
+    TestableArray array(geometry, variation, seed, SelfRefConfig{},
+                        Volt(0.0));
+    runs.push_back(
+        {scheme, fault::run_march_with_faults(array, map, scheme)});
+  }
+
+  if (as_json) {
+    Json out = Json::object();
+    out.set("seed", Json::integer(static_cast<std::int64_t>(seed)));
+    out.set("rows", Json::integer(static_cast<std::int64_t>(rows)));
+    out.set("cols", Json::integer(static_cast<std::int64_t>(cols)));
+    out.set("density", Json::number(density));
+    out.set("injected",
+            Json::integer(static_cast<std::int64_t>(map.total())));
+    Json schemes = Json::array();
+    for (const Run& run : runs) {
+      Json s = Json::object();
+      s.set("scheme", Json::string(std::string(to_string(run.scheme))));
+      s.set("operations", Json::integer(static_cast<std::int64_t>(
+                              run.report.operations)));
+      s.set("detected", Json::integer(static_cast<std::int64_t>(
+                            run.report.detected_cells)));
+      s.set("coverage", Json::number(run.report.coverage()));
+      s.set("extra_flags", Json::integer(static_cast<std::int64_t>(
+                               run.report.extra_flags)));
+      Json classes = Json::array();
+      for (const fault::FaultClassCoverage& c : run.report.classes) {
+        Json j = Json::object();
+        j.set("fault", Json::string(std::string(to_string(c.type))));
+        j.set("injected",
+              Json::integer(static_cast<std::int64_t>(c.injected)));
+        j.set("detected",
+              Json::integer(static_cast<std::int64_t>(c.detected)));
+        j.set("coverage", Json::number(c.coverage()));
+        classes.push_back(std::move(j));
+      }
+      s.set("classes", std::move(classes));
+      schemes.push_back(std::move(s));
+    }
+    out.set("schemes", std::move(schemes));
+    std::printf("%s\n", out.dump(2).c_str());
+    return 0;
+  }
+
+  std::printf("injected %zu faults into %zu x %zu "
+              "(density %.4g, seed %llu), March C-\n",
+              map.total(), rows, cols, density,
+              static_cast<unsigned long long>(seed));
+  TextTable t({"fault class", "injected", "conventional", "destructive",
+               "nondestructive"});
+  const auto coverage_cell = [](const fault::MarchCoverageReport& report,
+                                FaultType type) {
+    for (const fault::FaultClassCoverage& c : report.classes) {
+      if (c.type == type) {
+        return std::to_string(c.detected) + " (" +
+               format_percent(c.coverage()) + ")";
+      }
+    }
+    return std::string("-");
+  };
+  for (const fault::FaultClassCoverage& c : runs[0].report.classes) {
+    t.add_row({std::string(to_string(c.type)), std::to_string(c.injected),
+               coverage_cell(runs[0].report, c.type),
+               coverage_cell(runs[1].report, c.type),
+               coverage_cell(runs[2].report, c.type)});
+  }
+  const auto totals = [](const fault::MarchCoverageReport& report) {
+    return std::to_string(report.detected_cells) + " (" +
+           format_percent(report.coverage()) + ")";
+  };
+  t.add_row({"total", std::to_string(runs[0].report.injected_cells),
+             totals(runs[0].report), totals(runs[1].report),
+             totals(runs[2].report)});
+  t.add_row({"extra flags", "-",
+             std::to_string(runs[0].report.extra_flags),
+             std::to_string(runs[1].report.extra_flags),
+             std::to_string(runs[2].report.extra_flags)});
   std::printf("%s", t.to_string().c_str());
   return 0;
 }
@@ -454,7 +791,7 @@ int main(int argc, char** argv) {
         "usage: sttram_cli [--metrics <file>] [--trace <file>] "
         "[--threads <n>] "
         "{margins|design|robustness|yield|tail|read|transient|traffic|"
-        "stats} [args]\n");
+        "fault|stats|help} [args]\n");
     return 2;
   }
   if (!metrics_path.empty()) obs::set_metrics_enabled(true);
@@ -479,12 +816,16 @@ int main(int argc, char** argv) {
     else if (cmd == "read") rc = cmd_read(sub_argc, sub_argv);
     else if (cmd == "transient") rc = cmd_transient(sub_argc, sub_argv);
     else if (cmd == "traffic") rc = cmd_traffic(sub_argc, sub_argv);
+    else if (cmd == "fault") rc = cmd_fault(sub_argc, sub_argv);
     else if (cmd == "stats") rc = cmd_stats(sub_argc, sub_argv);
-    else {
+    else if (cmd == "help" || cmd == "-h" || cmd == "--help") {
+      print_help();
+      rc = 0;
+    } else {
       std::fprintf(stderr,
                    "error: unknown command '%s' (try one of margins, "
                    "design, robustness, yield, tail, read, transient, "
-                   "traffic, stats)\n",
+                   "traffic, fault, stats, help)\n",
                    cmd.c_str());
       return 2;
     }

@@ -65,8 +65,9 @@ BankTiming scheme_bank_timing(SensingScheme scheme,
 }
 
 BankController::BankController(std::size_t banks, SchedulingPolicy policy,
-                               const BankTiming& timing)
-    : timing_(timing) {
+                               const BankTiming& timing,
+                               ReadFaultModel* faults)
+    : timing_(timing), faults_(faults) {
   require(banks > 0, "BankController: need at least one bank");
   require(timing.read_service.value() > 0.0 &&
               timing.write_service.value() > 0.0,
@@ -77,8 +78,23 @@ BankController::BankController(std::size_t banks, SchedulingPolicy policy,
 
 void BankController::start_service(Bank& bank, const Request& request,
                                    Second at) {
-  const Second service = request.op == Op::kRead ? timing_.read_service
-                                                 : timing_.write_service;
+  Second service = request.op == Op::kRead ? timing_.read_service
+                                           : timing_.write_service;
+  if (faults_ != nullptr && request.op == Op::kRead) {
+    // One hook call per read (requests enter service exactly once); the
+    // outcome depends only on the request id, so stats and schedules are
+    // reproducible regardless of bank interleaving.
+    const ReadFaultOutcome outcome = faults_->read_outcome(request.id);
+    service += outcome.extra_latency;
+    if (outcome.raw_bit_errors > 0) ++fault_stats_.faulty_reads;
+    fault_stats_.retries += outcome.attempts - 1;
+    fault_stats_.raw_bit_errors += outcome.raw_bit_errors;
+    if (outcome.corrected) ++fault_stats_.corrected_words;
+    if (outcome.uncorrectable) ++fault_stats_.uncorrectable_words;
+    if (outcome.silent) ++fault_stats_.silent_corruptions;
+    fault_stats_.extra_latency += outcome.extra_latency;
+    fault_stats_.extra_energy += outcome.extra_energy;
+  }
   bank.busy = true;
   bank.current = request;
   bank.current_start = max(at, request.arrival);
@@ -312,7 +328,8 @@ TrafficReport run_traffic(const TrafficConfig& config) {
     }
   }
 
-  BankController controller(config.banks, config.policy, timing);
+  BankController controller(config.banks, config.policy, timing,
+                            config.faults);
   RunAccumulator acc;
   acc.keep = config.keep_completions;
   const std::size_t total = config.workload == WorkloadKind::kTrace
@@ -375,6 +392,11 @@ TrafficReport run_traffic(const TrafficConfig& config) {
   report.peak_queue_depth = controller.peak_queue_depth();
   report.total_energy = static_cast<double>(acc.reads) * timing.read_energy +
                         static_cast<double>(acc.writes) * timing.write_energy;
+  if (config.faults != nullptr) {
+    report.faults_enabled = true;
+    report.faults = controller.fault_stats();
+    report.total_energy += report.faults.extra_energy;
+  }
   report.energy_per_bit_pj = report.total_energy.value() * 1e12 / bits;
   report.read_service = timing.read_service;
   report.write_service = timing.write_service;
@@ -386,6 +408,15 @@ TrafficReport run_traffic(const TrafficConfig& config) {
   STTRAM_OBS_SET_GAUGE("engine.queue_depth", report.peak_queue_depth);
   STTRAM_OBS_SET_GAUGE("engine.bank_utilization",
                        report.avg_bank_utilization);
+  if (report.faults_enabled) {
+    STTRAM_OBS_ADD("fault.retries", report.faults.retries);
+    STTRAM_OBS_ADD("fault.raw_bit_errors", report.faults.raw_bit_errors);
+    STTRAM_OBS_ADD("fault.ecc_corrected", report.faults.corrected_words);
+    STTRAM_OBS_ADD("fault.ecc_uncorrectable",
+                   report.faults.uncorrectable_words);
+    STTRAM_OBS_ADD("fault.silent_corruptions",
+                   report.faults.silent_corruptions);
+  }
   return report;
 }
 

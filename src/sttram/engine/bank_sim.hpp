@@ -18,6 +18,7 @@
 #include <vector>
 
 #include "sttram/common/units.hpp"
+#include "sttram/engine/fault_hook.hpp"
 #include "sttram/engine/request.hpp"
 #include "sttram/sim/timing_energy.hpp"
 
@@ -53,8 +54,13 @@ BankTiming scheme_bank_timing(SensingScheme scheme,
 /// submit a request whose arrival precedes next_completion_time().
 class BankController {
  public:
+  /// `faults`, when non-null, is consulted once per read request; its
+  /// extra latency extends the bank occupancy and its activity is
+  /// aggregated into fault_stats().  Null (the default) is the exact
+  /// fault-free code path.
   BankController(std::size_t banks, SchedulingPolicy policy,
-                 const BankTiming& timing);
+                 const BankTiming& timing,
+                 ReadFaultModel* faults = nullptr);
 
   /// Admits one request; starts service immediately if its bank is idle.
   void submit(const Request& request);
@@ -76,6 +82,10 @@ class BankController {
   [[nodiscard]] Second busy_time(std::size_t bank) const;
   /// Requests a bank has finished.
   [[nodiscard]] std::size_t served(std::size_t bank) const;
+  /// Accumulated fault/recovery activity (all zeros without a hook).
+  [[nodiscard]] const TrafficFaultStats& fault_stats() const {
+    return fault_stats_;
+  }
 
  private:
   struct Bank {
@@ -97,6 +107,8 @@ class BankController {
 
   BankTiming timing_;
   std::vector<Bank> banks_;
+  ReadFaultModel* faults_ = nullptr;
+  TrafficFaultStats fault_stats_;
   std::size_t in_flight_ = 0;
   std::size_t pending_ = 0;
   std::size_t peak_depth_ = 0;
@@ -130,6 +142,9 @@ struct TrafficConfig {
   std::vector<Request> trace;
   /// Retain the per-request completion records in the report.
   bool keep_completions = false;
+  /// Optional fault hook (not owned).  Null keeps the exact fault-free
+  /// code path — reports are bit-identical to a run without the field.
+  ReadFaultModel* faults = nullptr;
 };
 
 /// Measured figures of merit of one traffic run.
@@ -156,6 +171,8 @@ struct TrafficReport {
   Second read_service{0.0};   ///< the scheme occupancy used
   Second write_service{0.0};
   std::vector<CompletedRequest> completions;  ///< when keep_completions
+  bool faults_enabled = false;  ///< whether a fault hook was attached
+  TrafficFaultStats faults;     ///< fault/recovery totals (zeros if off)
 };
 
 /// Runs the experiment.  Deterministic for a given config.

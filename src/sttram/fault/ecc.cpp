@@ -1,0 +1,132 @@
+#include "sttram/fault/ecc.hpp"
+
+#include <array>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram::fault {
+namespace {
+
+// The extended Hamming code lives on codeword positions 1..71; parity
+// bits sit at the power-of-two positions (1, 2, 4, ..., 64) and the 64
+// data bits fill the remaining positions in index order.  Position 0 is
+// taken by the overall-parity bit.  The tables below map between the
+// storage layout (data bit i / check bit k) and Hamming positions.
+
+constexpr bool is_power_of_two(int x) { return (x & (x - 1)) == 0; }
+
+/// data_position[i] = Hamming position (1..71) of data bit i.
+constexpr std::array<int, kEccDataBits> make_data_positions() {
+  std::array<int, kEccDataBits> table{};
+  int i = 0;
+  for (int pos = 1; pos <= 71; ++pos) {
+    if (is_power_of_two(pos)) continue;  // parity slot
+    table[i++] = pos;
+  }
+  return table;
+}
+
+constexpr std::array<int, kEccDataBits> kDataPosition = make_data_positions();
+
+/// position_to_data[pos] = data-bit index at Hamming position pos, or -1.
+constexpr std::array<int, 72> make_position_map() {
+  std::array<int, 72> table{};
+  for (auto& t : table) t = -1;
+  for (int i = 0; i < kEccDataBits; ++i) table[kDataPosition[i]] = i;
+  return table;
+}
+
+constexpr std::array<int, 72> kPositionToData = make_position_map();
+
+bool data_bit(std::uint64_t data, int i) { return ((data >> i) & 1u) != 0; }
+bool check_bit(std::uint8_t check, int k) { return ((check >> k) & 1u) != 0; }
+
+/// XOR of the Hamming positions of every set bit (data + the 7 Hamming
+/// parity bits) — the syndrome of the received 71-bit inner codeword.
+int syndrome(const EccCodeword& w) {
+  int s = 0;
+  for (int i = 0; i < kEccDataBits; ++i) {
+    if (data_bit(w.data, i)) s ^= kDataPosition[i];
+  }
+  for (int k = 0; k < 7; ++k) {
+    if (check_bit(w.check, k)) s ^= (1 << k);
+  }
+  return s;
+}
+
+/// Parity (0/1) of all 72 stored bits, overall-parity bit included.
+int overall_parity(const EccCodeword& w) {
+  std::uint64_t d = w.data;
+  d ^= d >> 32;
+  d ^= d >> 16;
+  d ^= d >> 8;
+  d ^= d >> 4;
+  d ^= d >> 2;
+  d ^= d >> 1;
+  std::uint8_t c = w.check;
+  c ^= c >> 4;
+  c ^= c >> 2;
+  c ^= c >> 1;
+  return static_cast<int>((d ^ c) & 1u);
+}
+
+}  // namespace
+
+EccCodeword ecc_encode(std::uint64_t word) {
+  EccCodeword w;
+  w.data = word;
+  w.check = 0;
+  const int s = syndrome(w);  // with zero parity bits: XOR of data positions
+  // Each Hamming parity bit must cancel its slice of the syndrome.
+  w.check = static_cast<std::uint8_t>(s & 0x7f);
+  // Overall parity makes the 72-bit word even-parity.
+  if (overall_parity(w) != 0) w.check |= 0x80;
+  return w;
+}
+
+EccDecode ecc_decode(const EccCodeword& received) {
+  EccDecode out;
+  out.data = received.data;
+  const int s = syndrome(received);
+  const int p = overall_parity(received);
+
+  if (s == 0 && p == 0) return out;  // clean
+
+  if (p != 0) {
+    // Odd overall parity: exactly one flip (or an odd alias).  The
+    // syndrome points at it; s == 0 means the overall-parity bit itself.
+    out.corrected = true;
+    if (s == 0) {
+      out.corrected_bit = 71;  // overall-parity check bit
+    } else if (is_power_of_two(s)) {
+      int k = 0;
+      while ((1 << k) != s) ++k;
+      out.corrected_bit = kEccDataBits + k;  // Hamming parity bit k
+    } else if (s <= 71 && kPositionToData[s] >= 0) {
+      const int i = kPositionToData[s];
+      out.data ^= (std::uint64_t{1} << i);
+      out.corrected_bit = i;
+    } else {
+      // Syndrome outside the codeword: an odd-weight multi-bit alias.
+      out.corrected = false;
+      out.double_error = true;
+    }
+    return out;
+  }
+
+  // Even overall parity with a non-zero syndrome: two flips.
+  out.double_error = true;
+  return out;
+}
+
+void ecc_flip_bit(EccCodeword& word, int bit) {
+  require(bit >= 0 && bit < kEccCodewordBits,
+          "ecc_flip_bit: bit index out of range");
+  if (bit < kEccDataBits) {
+    word.data ^= (std::uint64_t{1} << bit);
+  } else {
+    word.check ^= static_cast<std::uint8_t>(1u << (bit - kEccDataBits));
+  }
+}
+
+}  // namespace sttram::fault

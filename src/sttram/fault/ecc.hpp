@@ -1,0 +1,55 @@
+// SECDED (72,64) Hamming code over array words.
+//
+// The recovery layer's error-correcting code: 64 data bits protected by
+// 7 Hamming parity bits plus one overall-parity bit (the classic
+// single-error-correct / double-error-detect extended Hamming code used
+// by ECC DRAM and, in the paper's setting, by the STT-RAM array's word
+// organization).  Any single flipped bit — data, Hamming parity or the
+// overall-parity bit — is located and corrected; any two flipped bits
+// are detected as uncorrectable.  Three or more flips may alias (as with
+// every SECDED code); the fault layer treats those words as detected
+// failures, which is conservative for the BER bookkeeping.
+#pragma once
+
+#include <cstdint>
+
+namespace sttram::fault {
+
+inline constexpr int kEccDataBits = 64;   ///< payload bits per word
+inline constexpr int kEccCheckBits = 8;   ///< 7 Hamming + 1 overall parity
+inline constexpr int kEccCodewordBits = kEccDataBits + kEccCheckBits;  // 72
+
+/// One stored 72-bit codeword: the 64 data bits plus the 8 check bits.
+/// Check-bit layout: bit k (k = 0..6) is the Hamming parity covering
+/// codeword positions whose index has bit k set; bit 7 is the overall
+/// parity of the other 71 bits.
+struct EccCodeword {
+  std::uint64_t data = 0;
+  std::uint8_t check = 0;
+};
+
+/// Encodes a 64-bit word into its SECDED codeword.
+[[nodiscard]] EccCodeword ecc_encode(std::uint64_t word);
+
+/// Outcome of decoding a (possibly corrupted) codeword.
+struct EccDecode {
+  std::uint64_t data = 0;        ///< corrected payload (valid unless double_error)
+  bool corrected = false;        ///< a single-bit error was repaired
+  bool double_error = false;     ///< two flips detected — uncorrectable
+  /// Codeword bit index (see ecc_flip_bit) of the repaired flip, or -1.
+  int corrected_bit = -1;
+
+  /// The word decoded cleanly or was repaired.
+  [[nodiscard]] bool ok() const { return !double_error; }
+};
+
+/// Decodes `received`, correcting a single-bit error anywhere in the 72
+/// bits and flagging double-bit errors.
+[[nodiscard]] EccDecode ecc_decode(const EccCodeword& received);
+
+/// Flips one bit of the stored codeword.  `bit` indexes the 72 codeword
+/// bits: 0..63 are the data bits, 64..71 the check bits (71 being the
+/// overall-parity bit).  Used by tests and the fault injectors.
+void ecc_flip_bit(EccCodeword& word, int bit);
+
+}  // namespace sttram::fault

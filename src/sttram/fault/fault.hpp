@@ -1,0 +1,14 @@
+// Umbrella header of the fault-injection and error-recovery subsystem.
+//
+//   ecc            SECDED(72,64) extended Hamming encode / decode
+//   fault_model    fault taxonomy, densities, deterministic fault maps
+//   coverage       fault-aware march testing with per-class coverage
+//   traffic_faults per-access error/retry/ECC model for the engine
+//   yield_overlay  analytic raw vs post-ECC BER over yield margins
+#pragma once
+
+#include "sttram/fault/coverage.hpp"
+#include "sttram/fault/ecc.hpp"
+#include "sttram/fault/fault_model.hpp"
+#include "sttram/fault/traffic_faults.hpp"
+#include "sttram/fault/yield_overlay.hpp"

@@ -48,11 +48,15 @@ Registry::Registry() {
         "spice.transient.steps_rejected", "tail.searches",
         "tail.margin_evaluations", "yield.experiments",
         "yield.margin_evaluations", "yield.margin_failures",
-        "engine.requests", "engine.reads", "engine.writes"}) {
+        "engine.requests", "engine.reads", "engine.writes",
+        "fault.injected", "fault.march_detected", "fault.retries",
+        "fault.raw_bit_errors", "fault.ecc_corrected",
+        "fault.ecc_uncorrectable", "fault.silent_corruptions"}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
   for (const char* name : {"mc.trials_per_second", "yield.cells_per_second",
-                           "engine.queue_depth", "engine.bank_utilization"}) {
+                           "engine.queue_depth", "engine.bank_utilization",
+                           "fault.march_coverage"}) {
     gauges_.emplace(name, std::make_unique<Gauge>());
   }
   for (const char* name : {"mc.trial_seconds", "yield.experiment_seconds",

@@ -18,12 +18,36 @@ std::string_view to_string(ReadScheme s) {
   return "?";
 }
 
+std::string_view to_string(FaultType f) {
+  switch (f) {
+    case FaultType::kNone:
+      return "none";
+    case FaultType::kStuckAtZero:
+      return "stuck-at-0";
+    case FaultType::kStuckAtOne:
+      return "stuck-at-1";
+    case FaultType::kTransitionUp:
+      return "transition 0->1";
+    case FaultType::kTransitionDown:
+      return "transition 1->0";
+    case FaultType::kReadDisturb:
+      return "read-disturb";
+    case FaultType::kRetention:
+      return "retention";
+    case FaultType::kDriftOutlier:
+      return "drift outlier";
+  }
+  return "?";
+}
+
 TestableArray::TestableArray(ArrayGeometry geometry,
                              const MtjVariationModel& variation,
                              std::uint64_t seed, SelfRefConfig selfref,
                              Volt required_margin)
     : array_(geometry, variation, /*sigma_access=*/0.02, seed),
       faults_(geometry.cell_count(), FaultType::kNone),
+      fault_params_(geometry.cell_count(), 0.0),
+      last_write_(geometry.cell_count(), 0),
       selfref_(selfref),
       required_margin_(required_margin) {
   const MtjParams nominal = MtjParams::paper_calibrated();
@@ -43,19 +67,56 @@ std::size_t TestableArray::index(std::size_t row, std::size_t col) const {
 }
 
 void TestableArray::inject(std::size_t row, std::size_t col,
-                           FaultType fault) {
-  faults_[index(row, col)] = fault;
-  // Stuck cells physically sit in their stuck state.
-  if (fault == FaultType::kStuckAtZero) array_.store(row, col, false);
-  if (fault == FaultType::kStuckAtOne) array_.store(row, col, true);
+                           FaultType fault, double param) {
+  const std::size_t idx = index(row, col);
+  faults_[idx] = fault;
+  fault_params_[idx] = param;
+  switch (fault) {
+    case FaultType::kStuckAtZero:
+      array_.store(row, col, false);  // stuck cells sit in their state
+      break;
+    case FaultType::kStuckAtOne:
+      array_.store(row, col, true);
+      break;
+    case FaultType::kRetention:
+      if (param <= 0.0) {
+        fault_params_[idx] =
+            static_cast<double>(array_.geometry().cell_count());
+      }
+      break;
+    case FaultType::kDriftOutlier: {
+      // The outlier's whole junction resistance shifts multiplicatively
+      // (a barrier-thickness excursion): common-mode for both states.
+      const double factor = param > 0.0 ? param : 1.8;
+      fault_params_[idx] = factor;
+      ArrayCell& cell = array_.cell(row, col);
+      cell.params = cell.params.scaled(factor, 1.0);
+      break;
+    }
+    default:
+      break;
+  }
 }
 
 FaultType TestableArray::fault(std::size_t row, std::size_t col) const {
   return faults_[index(row, col)];
 }
 
+void TestableArray::maybe_decay(std::size_t row, std::size_t col,
+                                std::size_t idx) {
+  if (faults_[idx] != FaultType::kRetention) return;
+  const auto horizon = static_cast<std::uint64_t>(fault_params_[idx]);
+  if (ops_ - last_write_[idx] >= horizon) {
+    array_.store(row, col, false);  // relax to the parallel (0) state
+  }
+}
+
 void TestableArray::write(std::size_t row, std::size_t col, bool bit) {
-  switch (faults_[index(row, col)]) {
+  ++ops_;
+  const std::size_t idx = index(row, col);
+  maybe_decay(row, col, idx);
+  last_write_[idx] = ops_;
+  switch (faults_[idx]) {
     case FaultType::kStuckAtZero:
       return;  // pinned at 0
     case FaultType::kStuckAtOne:
@@ -67,9 +128,25 @@ void TestableArray::write(std::size_t row, std::size_t col, bool bit) {
       if (!bit && array_.stored(row, col)) return;  // 1->0 fails
       break;
     case FaultType::kNone:
-      break;
+    case FaultType::kReadDisturb:
+    case FaultType::kRetention:
+    case FaultType::kDriftOutlier:
+      break;  // writes succeed; these classes corrupt reads / idle time
   }
   array_.store(row, col, bit);
+}
+
+bool TestableArray::sense(std::size_t row, std::size_t col,
+                          ReadScheme scheme) {
+  ++ops_;
+  const std::size_t idx = index(row, col);
+  maybe_decay(row, col, idx);
+  if (faults_[idx] == FaultType::kReadDisturb) {
+    // Read-destructive fault: the read current flips the free layer and
+    // the comparison resolves the new, wrong state.
+    array_.store(row, col, !array_.stored(row, col));
+  }
+  return read(row, col, scheme);
 }
 
 bool TestableArray::stored(std::size_t row, std::size_t col) const {
@@ -126,7 +203,7 @@ MarchResult run_march(TestableArray& array, ReadScheme scheme,
         if (op.is_write) {
           array.write(row, col, op.value);
         } else {
-          const bool got = array.read(row, col, scheme);
+          const bool got = array.sense(row, col, scheme);
           if (got != op.value && !flagged[idx]) {
             flagged[idx] = true;
             result.failing_cells.emplace_back(row, col);

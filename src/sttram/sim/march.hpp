@@ -18,14 +18,35 @@
 
 namespace sttram {
 
-/// Classic cell fault models.
+/// Cell fault models: the classic static faults plus the dynamic classes
+/// of the STT-MRAM testing literature (read-destructive, retention and
+/// resistance-drift faults).  The fault-injection layer in
+/// `src/sttram/fault/` decides *which* cells carry these faults (with
+/// probabilities derived from the device physics); TestableArray
+/// implements their behavioral semantics.
 enum class FaultType {
   kNone,
   kStuckAtZero,     ///< cell always reads/holds 0
   kStuckAtOne,      ///< cell always reads/holds 1
   kTransitionUp,    ///< cell cannot switch 0 -> 1
   kTransitionDown,  ///< cell cannot switch 1 -> 0
+  /// Read-destructive fault (RDF): the read current flips the free layer
+  /// and the sense amp resolves the *new* (wrong) state.  Behavioral
+  /// model of a cell whose critical current is so degraded that the read
+  /// disturb budget is blown on every access.
+  kReadDisturb,
+  /// Retention fault: the stored state thermally relaxes to the parallel
+  /// (0) state once `param` operations have elapsed since the last write
+  /// (param = 0 uses one full array sweep as the decay horizon).
+  kRetention,
+  /// Resistance-drift outlier: the whole junction resistance is scaled
+  /// by `param` (default 1.8) — a barrier-thickness outlier.  Schemes
+  /// comparing against an external reference misread the cell; the
+  /// self-reference schemes track the common-mode shift and recover it.
+  kDriftOutlier,
 };
+
+[[nodiscard]] std::string_view to_string(FaultType f);
 
 /// Read scheme used by the tester.
 enum class ReadScheme {
@@ -50,26 +71,48 @@ class TestableArray {
     return array_.geometry();
   }
 
-  /// Injects a fault into one cell.
-  void inject(std::size_t row, std::size_t col, FaultType fault);
+  /// Injects a fault into one cell.  `param` refines the dynamic
+  /// classes: the decay horizon in operations for kRetention (0 = one
+  /// array sweep) and the resistance scale factor for kDriftOutlier
+  /// (0 = 1.8); ignored by the static classes.
+  void inject(std::size_t row, std::size_t col, FaultType fault,
+              double param = 0.0);
   [[nodiscard]] FaultType fault(std::size_t row, std::size_t col) const;
 
-  /// Writes a bit, honoring stuck-at / transition faults.
+  /// Writes a bit, honoring stuck-at / transition faults.  Counts as one
+  /// operation for the retention clock.
   void write(std::size_t row, std::size_t col, bool bit);
 
-  /// Reads a bit with the given scheme: the scheme's margin math decides
-  /// whether the stored value is recovered or misread.
+  /// Performs one read access with the given scheme, honoring the
+  /// dynamic faults: retention victims decay before the sense, and a
+  /// read-disturb victim flips *during* the access so the (wrong) new
+  /// state is what gets sensed.  This is the operation March algorithms
+  /// issue; counts as one operation for the retention clock.
+  [[nodiscard]] bool sense(std::size_t row, std::size_t col,
+                           ReadScheme scheme);
+
+  /// Pure margin-model read of the current state: no state change, no
+  /// operation counted.  The scheme's margin math decides whether the
+  /// stored value is recovered or misread.
   [[nodiscard]] bool read(std::size_t row, std::size_t col,
                           ReadScheme scheme) const;
 
   /// The value physically stored (ground truth, test oracle).
   [[nodiscard]] bool stored(std::size_t row, std::size_t col) const;
 
+  /// Operations (reads + writes) issued so far — the retention clock.
+  [[nodiscard]] std::uint64_t operations() const { return ops_; }
+
  private:
   [[nodiscard]] std::size_t index(std::size_t row, std::size_t col) const;
+  /// Applies retention decay to a victim whose horizon has elapsed.
+  void maybe_decay(std::size_t row, std::size_t col, std::size_t idx);
 
   MemoryArray array_;
   std::vector<FaultType> faults_;
+  std::vector<double> fault_params_;
+  std::vector<std::uint64_t> last_write_;
+  std::uint64_t ops_ = 0;
   SelfRefConfig selfref_;
   Volt required_margin_;
   Volt shared_v_ref_{0.0};

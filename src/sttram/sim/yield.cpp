@@ -13,7 +13,7 @@ namespace sttram {
 namespace {
 
 void record(SchemeYield& y, const SenseMargins& m, Volt required,
-            std::size_t keep_every) {
+            std::size_t keep_every, bool keep_per_bit) {
   y.bits += 1;
   y.sm0_stats.add(m.sm0.value());
   y.sm1_stats.add(m.sm1.value());
@@ -23,6 +23,9 @@ void record(SchemeYield& y, const SenseMargins& m, Volt required,
   if (failed) STTRAM_OBS_COUNT("yield.margin_failures");
   if (keep_every == 0 || (y.bits % keep_every) == 1 || keep_every == 1) {
     y.scatter.emplace_back(m.sm0.value(), m.sm1.value());
+  }
+  if (keep_per_bit) {
+    y.per_bit_min_margin.push_back(static_cast<float>(m.min().value()));
   }
 }
 
@@ -157,13 +160,13 @@ YieldResult run_yield_experiment(const YieldConfig& config,
   // result bit-identical for any thread count.
   for (const auto& margins : cell_margins) {
     record(result.conventional, margins[0], config.required_margin,
-           keep_every);
+           keep_every, config.keep_per_bit_margins);
     record(result.reference_cell, margins[1], config.required_margin,
-           keep_every);
+           keep_every, config.keep_per_bit_margins);
     record(result.destructive, margins[2], config.required_margin,
-           keep_every);
+           keep_every, config.keep_per_bit_margins);
     record(result.nondestructive, margins[3], config.required_margin,
-           keep_every);
+           keep_every, config.keep_per_bit_margins);
   }
   if (metered) {
     const double elapsed =

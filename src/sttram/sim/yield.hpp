@@ -25,6 +25,9 @@ struct SchemeYield {
   RunningStats sm1_stats;    ///< margin-for-1 distribution [V]
   /// Per-bit (SM0, SM1) pairs in volts (the Fig. 11 scatter).
   std::vector<std::pair<double, double>> scatter;
+  /// Per-bit min(SM0, SM1) in volts, row-major — only filled when
+  /// YieldConfig::keep_per_bit_margins (the fault overlay's input).
+  std::vector<float> per_bit_min_margin;
 
   [[nodiscard]] double failure_rate() const {
     return bits == 0 ? 0.0
@@ -64,6 +67,10 @@ struct YieldConfig {
   /// Keep at most this many scatter points per scheme (subsampled
   /// deterministically); 0 keeps all.
   std::size_t max_scatter_points = 0;
+  /// Record every bit's min margin (SchemeYield::per_bit_min_margin) for
+  /// the fault/BER overlay.  Off by default; turning it on changes no
+  /// other output field (regression-tested).
+  bool keep_per_bit_margins = false;
 };
 
 /// Result across the four schemes.

@@ -1,0 +1,54 @@
+#!/bin/sh
+# CLI help consistency check (wired into ctest as `cli_help`).
+#
+#   cli_help_test.sh <sttram_cli binary> <path to sttram_cli.cpp>
+#
+# 1. `-h`, `--help` and the `help` command must print byte-identical
+#    text (the CLI has exactly one help text).
+# 2. Every `--flag` string literal the source's parsers accept must
+#    appear in that help text — a flag you can pass but cannot discover
+#    is a documentation bug.
+set -eu
+
+cli="$1"
+source="$2"
+workdir="$(mktemp -d)"
+trap 'rm -rf "$workdir"' EXIT
+
+"$cli" -h > "$workdir/h.txt"
+"$cli" --help > "$workdir/help_flag.txt"
+"$cli" help > "$workdir/help_cmd.txt"
+
+if ! cmp -s "$workdir/h.txt" "$workdir/help_flag.txt"; then
+  echo "FAIL: -h and --help print different text" >&2
+  diff "$workdir/h.txt" "$workdir/help_flag.txt" >&2 || true
+  exit 1
+fi
+if ! cmp -s "$workdir/h.txt" "$workdir/help_cmd.txt"; then
+  echo "FAIL: -h and the help command print different text" >&2
+  diff "$workdir/h.txt" "$workdir/help_cmd.txt" >&2 || true
+  exit 1
+fi
+
+# Collect every distinct "--flag" literal from the source (comment
+# lines excluded).  This matches the parser tables and strcmp calls;
+# matching inside the help string itself is harmless (those are in the
+# help text by definition).
+flags="$(grep -v '^[[:space:]]*//' "$source" \
+    | grep -o '"--[a-z][a-z-]*"' | tr -d '"' | sort -u)"
+if [ -z "$flags" ]; then
+  echo "FAIL: no --flag literals found in $source (wrong path?)" >&2
+  exit 1
+fi
+
+status=0
+for flag in $flags; do
+  if ! grep -q -- "$flag" "$workdir/h.txt"; then
+    echo "FAIL: flag '$flag' is parsed but missing from --help" >&2
+    status=1
+  fi
+done
+
+count="$(echo "$flags" | wc -l)"
+[ "$status" -eq 0 ] && echo "OK: help texts identical, $count flags documented"
+exit "$status"
