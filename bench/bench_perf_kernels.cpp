@@ -1,8 +1,11 @@
 // Performance microbenchmarks (google-benchmark) of the library's hot
 // kernels: margin evaluation, equal-margin optimization, Monte-Carlo
 // cell sampling, MNA factorization and the full circuit-level read.
+// Instead of BENCHMARK_MAIN(), a custom main captures every kernel's
+// time-per-iteration into a BENCH_perf_kernels.json snapshot.
 #include <benchmark/benchmark.h>
 
+#include "snapshot.hpp"
 #include "sttram/device/mtj_params.hpp"
 #include "sttram/device/variation.hpp"
 #include "sttram/sense/margins.hpp"
@@ -89,6 +92,41 @@ void BM_SpiceNondestructiveRead(benchmark::State& state) {
 }
 BENCHMARK(BM_SpiceNondestructiveRead);
 
+/// Console reporter that also records each kernel's real time per
+/// iteration (seconds, lower is better) into the bench snapshot.
+class SnapshotReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit SnapshotReporter(obs::BenchSnapshot& snap) : snap_(snap) {}
+
+  void ReportRuns(const std::vector<Run>& reports) override {
+    ConsoleReporter::ReportRuns(reports);
+    for (const Run& run : reports) {
+      if (run.run_type != Run::RT_Iteration || run.error_occurred) continue;
+      const double seconds_per_iter =
+          run.iterations > 0
+              ? run.real_accumulated_time /
+                    static_cast<double>(run.iterations)
+              : run.real_accumulated_time;
+      snap_.add_metric(obs::normalize_metric_name(run.benchmark_name()),
+                       seconds_per_iter, "s/iter",
+                       /*higher_is_better=*/false);
+    }
+  }
+
+ private:
+  obs::BenchSnapshot& snap_;
+};
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  sttram::obs::BenchSnapshot snap =
+      sttram::bench::make_snapshot("perf_kernels");
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  SnapshotReporter reporter(snap);
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+  sttram::bench::write_snapshot(snap);
+  return 0;
+}

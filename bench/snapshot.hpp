@@ -1,0 +1,67 @@
+// Bench snapshot harness: every perf-relevant bench builds an
+// obs::BenchSnapshot through make_snapshot() (which arms telemetry +
+// phase profiling and stamps compile-time provenance) and drops it as
+// BENCH_<name>.json via write_snapshot().  tools/bench_compare diffs
+// two such snapshot sets and gates on regressions.
+//
+// Set STTRAM_BENCH_SNAPSHOT_DIR to redirect the output directory (CI
+// writes baselines and candidates side by side this way).
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+
+#include "sttram/obs/metrics.hpp"
+#include "sttram/obs/profile.hpp"
+#include "sttram/obs/snapshot.hpp"
+
+// Provenance is injected by bench/CMakeLists.txt; the fallbacks keep
+// the header compilable standalone.
+#ifndef STTRAM_GIT_SHA
+#define STTRAM_GIT_SHA "unknown"
+#endif
+#ifndef STTRAM_BUILD_TYPE
+#define STTRAM_BUILD_TYPE "unknown"
+#endif
+#ifndef STTRAM_COMPILER_ID
+#define STTRAM_COMPILER_ID "unknown"
+#endif
+
+namespace sttram::bench {
+
+/// Arms telemetry and phase profiling for the process and returns a
+/// snapshot pre-filled with provenance.  Call once, before the timed
+/// work, so the profiler sees every phase.
+inline obs::BenchSnapshot make_snapshot(const std::string& name,
+                                        int threads = 1) {
+  obs::set_metrics_enabled(true);
+  obs::set_profiling_enabled(true);
+  obs::BenchSnapshot snap;
+  snap.bench = name;
+  snap.git_sha = STTRAM_GIT_SHA;
+  snap.build_type = STTRAM_BUILD_TYPE;
+  snap.compiler = STTRAM_COMPILER_ID;
+  snap.threads = threads;
+  return snap;
+}
+
+/// Captures the flat phase profile and writes BENCH_<bench>.json into
+/// the working directory (or STTRAM_BENCH_SNAPSHOT_DIR).  Never throws:
+/// a bench must not fail because its snapshot is unwritable.
+inline void write_snapshot(obs::BenchSnapshot& snap) {
+  snap.capture_profile();
+  std::string path = "BENCH_" + snap.bench + ".json";
+  if (const char* dir = std::getenv("STTRAM_BENCH_SNAPSHOT_DIR");
+      dir != nullptr && dir[0] != '\0') {
+    path = std::string(dir) + "/" + path;
+  }
+  try {
+    snap.write(path);
+    std::cout << "perf snapshot written to " << path << '\n';
+  } catch (const std::exception& e) {
+    std::cerr << "perf snapshot: " << e.what() << '\n';
+  }
+}
+
+}  // namespace sttram::bench

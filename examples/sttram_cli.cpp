@@ -113,12 +113,16 @@ void print_help() {
       "density (default 0.01)\n"
       "                             --json             machine-readable "
       "output\n"
-      "  stats                    telemetry snapshot of a demo workload\n"
+      "  stats                    telemetry snapshot of a demo workload:\n"
+      "                           counters, timers, latency-histogram\n"
+      "                           percentiles and the phase profile\n"
       "  help                     print this help (same as -h / --help)\n"
       "\n"
       "Global flags (before or after the command):\n"
-      "  --metrics <file>   enable telemetry; dump the metrics registry "
-      "as JSON\n"
+      "  --metrics <file>   enable telemetry + phase profiling; dump the\n"
+      "                     registry (histogram percentiles, profile "
+      "included)\n"
+      "                     as JSON\n"
       "  --trace <file>     record scoped spans; dump chrome://tracing "
       "JSON\n"
       "  --threads <n>      thread pool for the Monte-Carlo drivers "
@@ -714,9 +718,11 @@ int cmd_fault(int argc, char** argv) {
 int cmd_stats(int argc, char** argv) {
   if (!reject_unknown_flags(argc, argv)) return 2;
   // Self-profiling snapshot: run one representative workload from each
-  // instrumented subsystem with telemetry forced on, then print the
-  // registry.  Shows which solver/MC counters a real run would carry.
+  // instrumented subsystem with telemetry and phase profiling forced
+  // on, then print the registry.  Shows which solver/MC counters a
+  // real run would carry.
   obs::set_metrics_enabled(true);
+  obs::set_profiling_enabled(true);
   {
     YieldConfig cfg;
     cfg.geometry = {32, 32};
@@ -750,6 +756,31 @@ int cmd_stats(int argc, char** argv) {
                empty ? "" : format_double(tm.stats.max(), 4)});
   }
   std::printf("%s", t.to_string().c_str());
+
+  // Latency distributions with the full percentile set.
+  TextTable h({"histogram", "count", "mean", "p50", "p90", "p99", "p999",
+               "max"});
+  for (const auto& hs : registry.histograms()) {
+    const obs::HistogramSummary s = hs.hist.summary();
+    const bool empty = s.count == 0;
+    h.add_row({hs.name, std::to_string(s.count),
+               empty ? "" : format_double(s.mean, 4),
+               empty ? "" : format_double(s.p50, 4),
+               empty ? "" : format_double(s.p90, 4),
+               empty ? "" : format_double(s.p99, 4),
+               empty ? "" : format_double(s.p999, 4),
+               empty ? "" : format_double(s.max, 4)});
+  }
+  std::printf("\n%s", h.to_string().c_str());
+
+  // Flat phase profile (self time descending, as the Profiler sorts).
+  TextTable p({"phase", "calls", "total [s]", "self [s]"});
+  for (const obs::PhaseStats& row : obs::Profiler::instance().report()) {
+    p.add_row({row.name, std::to_string(row.calls),
+               format_double(row.total_seconds, 4),
+               format_double(row.self_seconds, 4)});
+  }
+  if (p.row_count() > 0) std::printf("\n%s", p.to_string().c_str());
   return 0;
 }
 
@@ -794,7 +825,10 @@ int main(int argc, char** argv) {
         "fault|stats|help} [args]\n");
     return 2;
   }
-  if (!metrics_path.empty()) obs::set_metrics_enabled(true);
+  if (!metrics_path.empty()) {
+    obs::set_metrics_enabled(true);
+    obs::set_profiling_enabled(true);
+  }
   if (!trace_path.empty()) obs::TraceRecorder::instance().start();
   std::unique_ptr<engine::ThreadPool> pool;
   if (threads > 1) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "sttram/common/error.hpp"
+#include "sttram/obs/profile.hpp"
 #include "sttram/stats/distributions.hpp"
 
 namespace sttram {
@@ -16,6 +17,7 @@ MtjVariationModel::MtjVariationModel(MtjParams nominal,
 }
 
 MtjVariationDraw MtjVariationModel::draw(Xoshiro256& rng) const {
+  STTRAM_PROFILE_SCOPE("variation.sample");
   MtjVariationDraw d;
   d.common = sample_lognormal_median(rng, 1.0, variation_.sigma_common);
   d.tmr_scale = sample_lognormal_median(rng, 1.0, variation_.sigma_tmr);

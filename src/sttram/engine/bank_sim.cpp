@@ -6,6 +6,7 @@
 #include "sttram/common/error.hpp"
 #include "sttram/engine/workload.hpp"
 #include "sttram/obs/metrics.hpp"
+#include "sttram/obs/profile.hpp"
 #include "sttram/obs/trace.hpp"
 #include "sttram/sim/throughput.hpp"
 #include "sttram/stats/rng.hpp"
@@ -168,7 +169,9 @@ std::size_t BankController::served(std::size_t bank) const {
 namespace {
 
 struct RunAccumulator {
-  std::vector<double> latencies;
+  obs::Histogram latency_hist;
+  obs::Histogram read_latency_hist;
+  obs::Histogram write_latency_hist;
   RunningStats latency;
   RunningStats read_latency;
   RunningStats write_latency;
@@ -181,15 +184,17 @@ struct RunAccumulator {
 
   void record(const CompletedRequest& done) {
     const double l = done.latency().value();
-    latencies.push_back(l);
+    latency_hist.record(l);
     latency.add(l);
     queue_wait.add(done.queue_wait().value());
     if (done.request.op == Op::kRead) {
       ++reads;
       read_latency.add(l);
+      read_latency_hist.record(l);
     } else {
       ++writes;
       write_latency.add(l);
+      write_latency_hist.record(l);
     }
     makespan = max(makespan, done.finish);
     if (keep) completions.push_back(done);
@@ -296,6 +301,7 @@ TrafficReport run_traffic(const TrafficConfig& config) {
   std::vector<Request> requests;
   {
     obs::TraceSpan phase("traffic.workload", "engine");
+    STTRAM_PROFILE_SCOPE("traffic.workload");
     timing = scheme_bank_timing(config.scheme, config.cost);
     if (config.workload == WorkloadKind::kPoisson) {
       require(config.utilization > 0.0 && config.utilization < 1.0,
@@ -332,16 +338,17 @@ TrafficReport run_traffic(const TrafficConfig& config) {
                             config.faults);
   RunAccumulator acc;
   acc.keep = config.keep_completions;
-  const std::size_t total = config.workload == WorkloadKind::kTrace
+  if (acc.keep) {
+    acc.completions.reserve(config.workload == WorkloadKind::kTrace
                                 ? requests.size()
-                                : config.requests;
-  acc.latencies.reserve(total);
-  if (acc.keep) acc.completions.reserve(total);
+                                : config.requests);
+  }
 
   const bool metered = obs::metrics_enabled();
   const auto t_begin = std::chrono::steady_clock::now();
   {
     obs::TraceSpan phase("traffic.simulate", "engine");
+    STTRAM_PROFILE_SCOPE("traffic.simulate");
     if (config.workload == WorkloadKind::kClosedLoop) {
       simulate_closed_loop(config, controller, acc);
     } else {
@@ -356,6 +363,7 @@ TrafficReport run_traffic(const TrafficConfig& config) {
   }
 
   obs::TraceSpan reduce_phase("traffic.reduce", "engine");
+  STTRAM_PROFILE_SCOPE("traffic.reduce");
   TrafficReport report;
   report.scheme = to_string(config.scheme);
   report.requests = acc.reads + acc.writes;
@@ -364,9 +372,10 @@ TrafficReport run_traffic(const TrafficConfig& config) {
   report.makespan = acc.makespan;
   report.mean_latency = Second(acc.latency.mean());
   report.max_latency = Second(acc.latency.max());
-  report.p50_latency = Second(percentile_inplace(acc.latencies, 0.50));
-  report.p90_latency = Second(percentile_inplace(acc.latencies, 0.90));
-  report.p99_latency = Second(percentile_inplace(acc.latencies, 0.99));
+  report.p50_latency = Second(acc.latency_hist.quantile(0.50));
+  report.p90_latency = Second(acc.latency_hist.quantile(0.90));
+  report.p99_latency = Second(acc.latency_hist.quantile(0.99));
+  report.p999_latency = Second(acc.latency_hist.quantile(0.999));
   report.mean_read_latency =
       Second(acc.reads > 0 ? acc.read_latency.mean() : 0.0);
   report.mean_write_latency =
@@ -400,8 +409,19 @@ TrafficReport run_traffic(const TrafficConfig& config) {
   report.energy_per_bit_pj = report.total_energy.value() * 1e12 / bits;
   report.read_service = timing.read_service;
   report.write_service = timing.write_service;
+  report.latency_hist = std::move(acc.latency_hist);
+  report.read_latency_hist = std::move(acc.read_latency_hist);
+  report.write_latency_hist = std::move(acc.write_latency_hist);
   report.completions = std::move(acc.completions);
 
+  if (metered) {
+    obs::Registry& reg = obs::Registry::instance();
+    reg.histogram("engine.latency_seconds").merge(report.latency_hist);
+    reg.histogram("engine.read_latency_seconds")
+        .merge(report.read_latency_hist);
+    reg.histogram("engine.write_latency_seconds")
+        .merge(report.write_latency_hist);
+  }
   STTRAM_OBS_ADD("engine.requests", report.requests);
   STTRAM_OBS_ADD("engine.reads", report.reads);
   STTRAM_OBS_ADD("engine.writes", report.writes);

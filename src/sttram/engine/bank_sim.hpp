@@ -20,6 +20,7 @@
 #include "sttram/common/units.hpp"
 #include "sttram/engine/fault_hook.hpp"
 #include "sttram/engine/request.hpp"
+#include "sttram/obs/histogram.hpp"
 #include "sttram/sim/timing_energy.hpp"
 
 namespace sttram::engine {
@@ -155,9 +156,12 @@ struct TrafficReport {
   std::size_t writes = 0;
   Second makespan{0.0};           ///< last completion time
   Second mean_latency{0.0};       ///< arrival -> completion
+  /// Percentiles come from `latency_hist` (log-bucketed, <= ~1.6 %
+  /// relative bucketing error); mean/max are exact.
   Second p50_latency{0.0};
   Second p90_latency{0.0};
   Second p99_latency{0.0};
+  Second p999_latency{0.0};
   Second max_latency{0.0};
   Second mean_read_latency{0.0};
   Second mean_write_latency{0.0};
@@ -170,6 +174,13 @@ struct TrafficReport {
   double energy_per_bit_pj = 0.0;
   Second read_service{0.0};   ///< the scheme occupancy used
   Second write_service{0.0};
+  /// Full latency distributions (seconds): overall and split by op.
+  /// Always populated — they are how the percentile fields above are
+  /// computed, not telemetry — so they carry the tail shape the scalar
+  /// summary cannot.
+  obs::Histogram latency_hist;
+  obs::Histogram read_latency_hist;
+  obs::Histogram write_latency_hist;
   std::vector<CompletedRequest> completions;  ///< when keep_completions
   bool faults_enabled = false;  ///< whether a fault hook was attached
   TrafficFaultStats faults;     ///< fault/recovery totals (zeros if off)

@@ -43,12 +43,87 @@ Json Json::object() {
   return j;
 }
 
+bool Json::is_null() const {
+  return std::holds_alternative<std::nullptr_t>(value_);
+}
+
+bool Json::is_bool() const { return std::holds_alternative<bool>(value_); }
+
+bool Json::is_number() const {
+  return std::holds_alternative<double>(value_) ||
+         std::holds_alternative<std::int64_t>(value_);
+}
+
+bool Json::is_string() const {
+  return std::holds_alternative<std::string>(value_);
+}
+
 bool Json::is_array() const {
   return std::holds_alternative<Array>(value_);
 }
 
 bool Json::is_object() const {
   return std::holds_alternative<Object>(value_);
+}
+
+bool Json::contains(const std::string& key) const {
+  return is_object() && std::get<Object>(value_).count(key) > 0;
+}
+
+const Json& Json::at(const std::string& key) const {
+  require(is_object(), "Json::at: not an object");
+  const Object& obj = std::get<Object>(value_);
+  const auto it = obj.find(key);
+  require(it != obj.end(), "Json::at: missing key '" + key + "'");
+  return it->second;
+}
+
+const Json& Json::at(std::size_t index) const {
+  require(is_array(), "Json::at: not an array");
+  const Array& arr = std::get<Array>(value_);
+  require(index < arr.size(), "Json::at: array index out of range");
+  return arr[index];
+}
+
+std::vector<std::string> Json::keys() const {
+  require(is_object(), "Json::keys: not an object");
+  std::vector<std::string> out;
+  for (const auto& [key, val] : std::get<Object>(value_)) {
+    (void)val;
+    out.push_back(key);
+  }
+  return out;
+}
+
+bool Json::as_bool() const {
+  require(is_bool(), "Json::as_bool: not a boolean");
+  return std::get<bool>(value_);
+}
+
+double Json::as_number() const {
+  if (std::holds_alternative<double>(value_)) {
+    return std::get<double>(value_);
+  }
+  require(std::holds_alternative<std::int64_t>(value_),
+          "Json::as_number: not a number");
+  return static_cast<double>(std::get<std::int64_t>(value_));
+}
+
+std::int64_t Json::as_integer() const {
+  if (std::holds_alternative<std::int64_t>(value_)) {
+    return std::get<std::int64_t>(value_);
+  }
+  require(std::holds_alternative<double>(value_),
+          "Json::as_integer: not a number");
+  const double v = std::get<double>(value_);
+  require(std::isfinite(v) && v == std::floor(v),
+          "Json::as_integer: non-integral number");
+  return static_cast<std::int64_t>(v);
+}
+
+const std::string& Json::as_string() const {
+  require(is_string(), "Json::as_string: not a string");
+  return std::get<std::string>(value_);
 }
 
 std::size_t Json::size() const {
@@ -173,6 +248,242 @@ std::string Json::dump(int indent) const {
   std::string out;
   emit(out, indent, 0);
   return out;
+}
+
+namespace {
+
+/// Recursive-descent parser over the serialized text.  Numbers without
+/// '.', 'e' or 'E' parse as int64 when they fit, matching what dump()
+/// emitted; everything else becomes a double.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Json parse_document() {
+    Json v = parse_value();
+    skip_ws();
+    require(pos_ == text_.size(), "Json::parse: trailing characters at " +
+                                      std::to_string(pos_));
+    return v;
+  }
+
+ private:
+  Json parse_value() {
+    skip_ws();
+    require(pos_ < text_.size(), "Json::parse: unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Json::string(parse_string());
+      case 't':
+        expect_literal("true");
+        return Json::boolean(true);
+      case 'f':
+        expect_literal("false");
+        return Json::boolean(false);
+      case 'n':
+        expect_literal("null");
+        return Json::null();
+      default:
+        return parse_number();
+    }
+  }
+
+  Json parse_object() {
+    ++pos_;  // '{'
+    Json obj = Json::object();
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return obj;
+    }
+    while (true) {
+      skip_ws();
+      require(peek() == '"', "Json::parse: expected object key at " +
+                                 std::to_string(pos_));
+      std::string key = parse_string();
+      skip_ws();
+      require(peek() == ':',
+              "Json::parse: expected ':' at " + std::to_string(pos_));
+      ++pos_;
+      obj.set(key, parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      require(peek() == '}',
+              "Json::parse: expected ',' or '}' at " + std::to_string(pos_));
+      ++pos_;
+      return obj;
+    }
+  }
+
+  Json parse_array() {
+    ++pos_;  // '['
+    Json arr = Json::array();
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return arr;
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      require(peek() == ']',
+              "Json::parse: expected ',' or ']' at " + std::to_string(pos_));
+      ++pos_;
+      return arr;
+    }
+  }
+
+  std::string parse_string() {
+    ++pos_;  // opening '"'
+    std::string out;
+    while (true) {
+      require(pos_ < text_.size(), "Json::parse: unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      require(pos_ < text_.size(), "Json::parse: unterminated escape");
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          require(pos_ + 4 <= text_.size(),
+                  "Json::parse: truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              require(false, "Json::parse: bad \\u escape");
+            }
+          }
+          // UTF-8 encode the BMP code point (dump() only ever emits
+          // \u00xx control characters, but accept the full range).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          require(false, "Json::parse: bad escape character");
+      }
+    }
+  }
+
+  Json parse_number() {
+    const std::size_t start = pos_;
+    bool integral = true;
+    if (peek() == '-') ++pos_;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c >= '0' && c <= '9') {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    const std::string tok = text_.substr(start, pos_ - start);
+    require(!tok.empty() && tok != "-",
+            "Json::parse: invalid number at " + std::to_string(start));
+    try {
+      if (integral) {
+        return Json::integer(std::stoll(tok));
+      }
+      return Json::number(std::stod(tok));
+    } catch (const std::exception&) {
+      // Out-of-range integer literal: fall back to double.
+      try {
+        return Json::number(std::stod(tok));
+      } catch (const std::exception&) {
+        require(false, "Json::parse: invalid number '" + tok + "'");
+      }
+    }
+    return Json::null();  // unreachable
+  }
+
+  void expect_literal(const char* lit) {
+    const std::string expected(lit);
+    require(text_.compare(pos_, expected.size(), expected) == 0,
+            "Json::parse: invalid literal at " + std::to_string(pos_));
+    pos_ += expected.size();
+  }
+
+  [[nodiscard]] char peek() const {
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+Json Json::parse(const std::string& text) {
+  return Parser(text).parse_document();
 }
 
 }  // namespace sttram

@@ -1,0 +1,219 @@
+#include "sttram/obs/histogram.hpp"
+
+#include <cmath>
+
+#include "sttram/io/json.hpp"
+
+namespace sttram::obs {
+
+std::size_t HistogramLayout::bucket_index(double v) {
+  if (!(v > 0.0)) return 0;  // zero, negative and NaN
+  int exp = 0;
+  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5, 1)
+  const int octave = exp - 1;               // v = (2*mant) * 2^octave
+  if (octave < kMinExponent) return 0;
+  if (octave >= kMaxExponent) return kBucketCount - 1;
+  int sub = static_cast<int>((2.0 * mant - 1.0) *
+                             static_cast<double>(kSubBuckets));
+  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // guard rounding at 1.0
+  return 1 +
+         static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets +
+         static_cast<std::size_t>(sub);
+}
+
+double HistogramLayout::bucket_lower(std::size_t index) {
+  if (index == 0) return 0.0;
+  if (index >= kBucketCount - 1) return std::ldexp(1.0, kMaxExponent);
+  const std::size_t linear = index - 1;
+  const int octave =
+      kMinExponent + static_cast<int>(linear / kSubBuckets);
+  const int sub = static_cast<int>(linear % kSubBuckets);
+  return std::ldexp(1.0 + static_cast<double>(sub) /
+                              static_cast<double>(kSubBuckets),
+                    octave);
+}
+
+double HistogramLayout::bucket_upper(std::size_t index) {
+  if (index == 0) return std::ldexp(1.0, kMinExponent);
+  if (index >= kBucketCount - 1) return std::ldexp(1.0, kMaxExponent + 1);
+  const std::size_t linear = index - 1;
+  const int octave =
+      kMinExponent + static_cast<int>(linear / kSubBuckets);
+  const int sub = static_cast<int>(linear % kSubBuckets) + 1;
+  return std::ldexp(1.0 + static_cast<double>(sub) /
+                              static_cast<double>(kSubBuckets),
+                    octave);
+}
+
+double HistogramLayout::bucket_mid(std::size_t index) {
+  if (index == 0) return 0.0;
+  return 0.5 * (bucket_lower(index) + bucket_upper(index));
+}
+
+Json HistogramSummary::to_json() const {
+  Json out = Json::object();
+  out.set("count", Json::integer(static_cast<std::int64_t>(count)));
+  out.set("mean", Json::number(mean));
+  out.set("min", Json::number(min));
+  out.set("max", Json::number(max));
+  out.set("p50", Json::number(p50));
+  out.set("p90", Json::number(p90));
+  out.set("p99", Json::number(p99));
+  out.set("p999", Json::number(p999));
+  return out;
+}
+
+void Histogram::record(double v) {
+  ++counts_[bucket_index(v)];
+  if (count_ == 0) {
+    min_ = max_ = v;
+  } else {
+    if (v < min_) min_ = v;
+    if (v > max_) max_ = v;
+  }
+  ++count_;
+  sum_ += v;
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    counts_[k] += other.counts_[k];
+  }
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    if (other.min_ < min_) min_ = other.min_;
+    if (other.max_ > max_) max_ = other.max_;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+}
+
+double Histogram::quantile(double q) const {
+  if (count_ == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Rank of the wanted order statistic (0-based, nearest-rank style).
+  const auto rank = static_cast<std::uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  // The extreme order statistics are tracked exactly.
+  if (rank == 0) return min_;
+  if (rank == count_ - 1) return max_;
+  std::uint64_t cumulative = 0;
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    cumulative += counts_[k];
+    if (cumulative > rank) {
+      double v = bucket_mid(k);
+      if (v < min_) v = min_;
+      if (v > max_) v = max_;
+      return v;
+    }
+  }
+  return max_;
+}
+
+HistogramSummary Histogram::summary() const {
+  HistogramSummary s;
+  s.count = count_;
+  s.mean = mean();
+  s.min = min();
+  s.max = max();
+  s.p50 = quantile(0.50);
+  s.p90 = quantile(0.90);
+  s.p99 = quantile(0.99);
+  s.p999 = quantile(0.999);
+  return s;
+}
+
+void Histogram::reset() {
+  counts_.assign(kBucketCount, 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = 0.0;
+  max_ = 0.0;
+}
+
+namespace {
+
+/// Relaxed CAS add on an atomic double (no fetch_add for doubles pre-C++20
+/// on all targets).
+void atomic_add(std::atomic<double>& target, double delta) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (!target.compare_exchange_weak(cur, cur + delta,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v < cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& target, double v) {
+  double cur = target.load(std::memory_order_relaxed);
+  while (v > cur && !target.compare_exchange_weak(
+                        cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+constexpr double kHuge = 1e308;
+
+}  // namespace
+
+HistogramMetric::HistogramMetric()
+    : counts_(new std::atomic<std::uint64_t>[kBucketCount]) {
+  for (std::size_t k = 0; k < kBucketCount; ++k) counts_[k] = 0;
+  min_.store(kHuge, std::memory_order_relaxed);
+  max_.store(-kHuge, std::memory_order_relaxed);
+}
+
+void HistogramMetric::record(double v) {
+  counts_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, v);
+  atomic_min(min_, v);
+  atomic_max(max_, v);
+}
+
+void HistogramMetric::merge(const Histogram& local) {
+  if (local.count() == 0) return;
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    const std::uint64_t c = local.bucket_count_at(k);
+    if (c > 0) counts_[k].fetch_add(c, std::memory_order_relaxed);
+  }
+  count_.fetch_add(local.count(), std::memory_order_relaxed);
+  atomic_add(sum_, local.sum());
+  atomic_min(min_, local.min());
+  atomic_max(max_, local.max());
+}
+
+Histogram HistogramMetric::snapshot() const {
+  Histogram out;
+  std::uint64_t total = 0;
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    const std::uint64_t c = counts_[k].load(std::memory_order_relaxed);
+    total += c;
+    out.import_bucket(k, c);
+  }
+  const double lo = min_.load(std::memory_order_relaxed);
+  const double hi = max_.load(std::memory_order_relaxed);
+  out.import_aggregates(total, sum_.load(std::memory_order_relaxed),
+                        total > 0 ? lo : 0.0, total > 0 ? hi : 0.0);
+  return out;
+}
+
+void HistogramMetric::reset() {
+  for (std::size_t k = 0; k < kBucketCount; ++k) {
+    counts_[k].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(kHuge, std::memory_order_relaxed);
+  max_.store(-kHuge, std::memory_order_relaxed);
+}
+
+}  // namespace sttram::obs

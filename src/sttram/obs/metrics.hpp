@@ -1,7 +1,8 @@
-// Process-wide telemetry registry: monotonic counters, gauges and
-// RunningStats-backed timers with JSON/CSV export.
+// Process-wide telemetry registry: monotonic counters, gauges,
+// RunningStats-backed timers and log-bucketed histograms with JSON/CSV
+// export.
 //
-// Design goals (see DESIGN.md §8):
+// Design goals (see DESIGN.md §8 and §11):
 //  - Zero overhead when disabled: every instrumentation macro starts
 //    with a single relaxed atomic load of the global enable flag and
 //    performs no allocation, no locking and no clock read on that path.
@@ -9,8 +10,13 @@
 //    never consumes RNG state or changes control flow, so results are
 //    bit-identical with telemetry on or off.
 //  - Stable handles: references returned by Registry::counter()/gauge()/
-//    timer() stay valid for the process lifetime; reset() zeroes values
-//    but never invalidates a handle, so call sites may cache them.
+//    timer()/histogram() stay valid for the process lifetime; reset()
+//    zeroes values but never invalidates a handle, so call sites may
+//    cache them.
+//  - Name hygiene: a metric name must be non-empty and match
+//    [a-z0-9_.]+, and one name refers to exactly one metric kind —
+//    asking for an existing counter as a gauge/timer/histogram (or any
+//    other cross-kind reuse) throws instead of silently shadowing.
 #pragma once
 
 #include <atomic>
@@ -23,6 +29,7 @@
 #include <string>
 #include <vector>
 
+#include "sttram/obs/histogram.hpp"
 #include "sttram/stats/summary.hpp"
 
 namespace sttram {
@@ -35,6 +42,13 @@ namespace sttram::obs {
 /// safe (instrumentation sites lazily register on first enabled hit).
 [[nodiscard]] bool metrics_enabled();
 void set_metrics_enabled(bool on);
+
+/// Makes a free-form string (a phase label, a user-supplied tag) safe as
+/// a metric name: lowercases it and maps every character outside
+/// [a-z0-9_.] to '_', collapsing runs and trimming the ends.  Use this
+/// at call sites that build names dynamically; literal names should just
+/// be written in the valid alphabet (the registry rejects violations).
+[[nodiscard]] std::string normalize_metric_name(const std::string& raw);
 
 /// Monotonic event counter (thread-safe, lock-free).
 class Counter {
@@ -98,6 +112,10 @@ struct TimerSnapshot {
   std::string name;
   RunningStats stats;
 };
+struct HistogramSnapshot {
+  std::string name;
+  Histogram hist;
+};
 
 /// The process-wide registry.  Well-known solver/MC metric names are
 /// pre-registered at construction so every export carries the full
@@ -110,20 +128,27 @@ class Registry {
   Registry& operator=(const Registry&) = delete;
 
   /// Returns the named metric, creating it on first use.  The returned
-  /// reference stays valid for the process lifetime.
+  /// reference stays valid for the process lifetime.  Throws
+  /// sttram::InvalidArgument when `name` is empty, contains a character
+  /// outside [a-z0-9_.], or is already registered as a different kind.
   Counter& counter(const std::string& name);
   Gauge& gauge(const std::string& name);
   Timer& timer(const std::string& name);
+  HistogramMetric& histogram(const std::string& name);
 
   [[nodiscard]] std::vector<CounterSnapshot> counters() const;
   [[nodiscard]] std::vector<GaugeSnapshot> gauges() const;
   [[nodiscard]] std::vector<TimerSnapshot> timers() const;
+  [[nodiscard]] std::vector<HistogramSnapshot> histograms() const;
 
   /// {"counters": {...}, "gauges": {...}, "timers": {name: {count, mean,
-  /// stddev, min, max, total}}}.
+  /// stddev, min, max, total}}, "histograms": {name: {count, mean, min,
+  /// max, p50, p90, p99, p999}}}.
   [[nodiscard]] Json to_json() const;
 
-  /// One row per metric: kind,name,count,value,mean,stddev,min,max.
+  /// One row per metric:
+  /// kind,name,count,value,mean,stddev,min,max,p50,p90,p99,p999
+  /// (percentile columns empty except for histograms).
   void write_csv(std::ostream& out) const;
 
   /// Zeroes every metric; handles stay valid.
@@ -132,10 +157,15 @@ class Registry {
  private:
   Registry();
 
+  /// Validates syntax and rejects cross-kind reuse; call with mu_ held.
+  /// `kind` is the map being inserted into.
+  void check_name(const std::string& name, const char* kind) const;
+
   mutable std::mutex mu_;
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Timer>> timers_;
+  std::map<std::string, std::unique_ptr<HistogramMetric>> histograms_;
 };
 
 /// Dumps the registry to `path` (pretty-printed JSON / CSV).  Throws
@@ -213,3 +243,14 @@ class ScopedTimer {
 #define STTRAM_OBS_SCOPED_TIMER(name)                                     \
   ::sttram::obs::ScopedTimer STTRAM_OBS_CONCAT(sttram_obs_scoped_timer_,  \
                                                __LINE__)(name)
+
+/// Records `value` into the histogram `name` (lock-free, full percentile
+/// set in the exports).
+#define STTRAM_OBS_OBSERVE(name, value)                                   \
+  do {                                                                    \
+    if (::sttram::obs::metrics_enabled()) {                               \
+      static ::sttram::obs::HistogramMetric& sttram_obs_histogram_ =      \
+          ::sttram::obs::Registry::instance().histogram(name);            \
+      sttram_obs_histogram_.record(static_cast<double>(value));           \
+    }                                                                     \
+  } while (0)

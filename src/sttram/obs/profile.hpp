@@ -1,0 +1,126 @@
+// Scoped phase profiling: attributes wall time to named phases (Newton
+// solve, transient solve, variation sampling, traffic event loop,
+// ECC/retry, ...) with self/total separation via a per-thread scope
+// stack.
+//
+// Contract (same as the metrics registry, DESIGN.md §11):
+//  - Zero cost when disabled: a ProfileScope constructed while profiling
+//    is off performs one relaxed atomic load and nothing else — no clock
+//    read, no allocation, no thread-local write.
+//  - Observation only: profiling never consumes RNG state or changes
+//    control flow, so every instrumented result is bit-identical with
+//    profiling on or off (regression-tested in tests/test_obs.cpp).
+//  - Spans also feed the chrome://tracing recorder (trace.hpp) when it
+//    is active, so the flat profile and the flame graph come from the
+//    same scopes.
+//
+// The flat profile reports, per phase: call count, total (inclusive)
+// seconds and self (exclusive) seconds.  Each thread keeps its own scope
+// stack; aggregation into the process-wide profiler happens on scope
+// exit under a mutex (scope exits are rare relative to the work they
+// time).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace sttram {
+class Json;
+}
+
+namespace sttram::obs {
+
+namespace detail {
+extern std::atomic<bool> g_profiling_enabled;
+}  // namespace detail
+
+[[nodiscard]] inline bool profiling_enabled() {
+  return detail::g_profiling_enabled.load(std::memory_order_relaxed);
+}
+void set_profiling_enabled(bool on);
+
+/// One row of the flat profile.
+struct PhaseStats {
+  std::string name;
+  std::uint64_t calls = 0;
+  double total_seconds = 0.0;  ///< inclusive (with children)
+  double self_seconds = 0.0;   ///< exclusive (children subtracted)
+};
+
+/// Process-wide phase accumulator (leaked singleton, same lifetime rule
+/// as the metrics Registry).
+class Profiler {
+ public:
+  static Profiler& instance();
+
+  Profiler(const Profiler&) = delete;
+  Profiler& operator=(const Profiler&) = delete;
+
+  /// Folds one finished scope into the named phase.
+  void record(const char* name, double total_seconds, double self_seconds);
+
+  /// Flat profile sorted by descending self time.
+  [[nodiscard]] std::vector<PhaseStats> report() const;
+
+  /// [{"phase": ..., "calls": ..., "total_seconds": ...,
+  ///   "self_seconds": ...}, ...] in report() order.
+  [[nodiscard]] Json to_json() const;
+
+  void reset();
+
+ private:
+  Profiler() = default;
+
+  struct Accum {
+    std::uint64_t calls = 0;
+    double total = 0.0;
+    double self = 0.0;
+  };
+
+  mutable std::mutex mu_;
+  std::map<std::string, Accum> phases_;
+};
+
+/// RAII scope attributing its lifetime to `name` (a string literal or a
+/// pointer outliving the scope).  Inert when profiling is disabled at
+/// construction; a scope that started while enabled records even if
+/// profiling is switched off mid-flight (the sample is already paid for).
+class ProfileScope {
+ public:
+  explicit ProfileScope(const char* name) {
+    if (profiling_enabled()) enter(name);
+  }
+  ~ProfileScope() {
+    if (active_) exit();
+  }
+  ProfileScope(const ProfileScope&) = delete;
+  ProfileScope& operator=(const ProfileScope&) = delete;
+
+ private:
+  void enter(const char* name);
+  void exit();
+
+  const char* name_ = nullptr;
+  std::chrono::steady_clock::time_point start_{};
+  double child_seconds_ = 0.0;
+  double trace_start_us_ = -1.0;
+  ProfileScope* parent_ = nullptr;
+  bool active_ = false;
+};
+
+}  // namespace sttram::obs
+
+#ifndef STTRAM_OBS_CONCAT
+#define STTRAM_OBS_CONCAT_INNER(a, b) a##b
+#define STTRAM_OBS_CONCAT(a, b) STTRAM_OBS_CONCAT_INNER(a, b)
+#endif
+
+/// Attributes the rest of the enclosing scope to the phase `name`.
+#define STTRAM_PROFILE_SCOPE(name)                                      \
+  ::sttram::obs::ProfileScope STTRAM_OBS_CONCAT(sttram_profile_scope_,  \
+                                                __LINE__)(name)

@@ -1,0 +1,150 @@
+#include "sttram/obs/snapshot.hpp"
+
+#include <fstream>
+#include <sstream>
+
+#include "sttram/common/error.hpp"
+#include "sttram/io/json.hpp"
+
+namespace sttram::obs {
+
+void BenchSnapshot::add_metric(const std::string& name, double value,
+                               const std::string& unit,
+                               bool higher_is_better) {
+  BenchMetric m;
+  m.name = name;
+  m.value = value;
+  m.unit = unit;
+  m.higher_is_better = higher_is_better;
+  metrics.push_back(std::move(m));
+}
+
+void BenchSnapshot::add_histogram(const std::string& name,
+                                  const Histogram& h,
+                                  const std::string& unit) {
+  BenchHistogram bh;
+  bh.name = name;
+  bh.unit = unit;
+  bh.summary = h.summary();
+  histograms.push_back(std::move(bh));
+}
+
+void BenchSnapshot::capture_profile() {
+  profile = Profiler::instance().report();
+}
+
+Json BenchSnapshot::to_json() const {
+  Json out = Json::object();
+  out.set("schema_version", Json::integer(kSchemaVersion));
+  out.set("bench", Json::string(bench));
+  out.set("git_sha", Json::string(git_sha));
+  out.set("build_type", Json::string(build_type));
+  out.set("compiler", Json::string(compiler));
+  out.set("threads", Json::integer(threads));
+
+  Json metric_arr = Json::array();
+  for (const BenchMetric& m : metrics) {
+    Json obj = Json::object();
+    obj.set("name", Json::string(m.name));
+    obj.set("value", Json::number(m.value));
+    obj.set("unit", Json::string(m.unit));
+    obj.set("higher_is_better", Json::boolean(m.higher_is_better));
+    metric_arr.push_back(std::move(obj));
+  }
+  out.set("metrics", std::move(metric_arr));
+
+  Json hist_arr = Json::array();
+  for (const BenchHistogram& h : histograms) {
+    Json obj = h.summary.to_json();
+    obj.set("name", Json::string(h.name));
+    obj.set("unit", Json::string(h.unit));
+    hist_arr.push_back(std::move(obj));
+  }
+  out.set("histograms", std::move(hist_arr));
+
+  Json prof_arr = Json::array();
+  for (const PhaseStats& row : profile) {
+    Json obj = Json::object();
+    obj.set("phase", Json::string(row.name));
+    obj.set("calls", Json::integer(static_cast<std::int64_t>(row.calls)));
+    obj.set("total_seconds", Json::number(row.total_seconds));
+    obj.set("self_seconds", Json::number(row.self_seconds));
+    prof_arr.push_back(std::move(obj));
+  }
+  out.set("profile", std::move(prof_arr));
+  return out;
+}
+
+BenchSnapshot BenchSnapshot::from_json(const Json& j) {
+  require(j.is_object(), "BenchSnapshot::from_json: not an object");
+  const std::int64_t version = j.at("schema_version").as_integer();
+  require(version == kSchemaVersion,
+          "BenchSnapshot::from_json: schema version " +
+              std::to_string(version) + " (expected " +
+              std::to_string(kSchemaVersion) + ")");
+  BenchSnapshot s;
+  s.bench = j.at("bench").as_string();
+  s.git_sha = j.at("git_sha").as_string();
+  s.build_type = j.at("build_type").as_string();
+  s.compiler = j.at("compiler").as_string();
+  s.threads = static_cast<int>(j.at("threads").as_integer());
+
+  const Json& metric_arr = j.at("metrics");
+  for (std::size_t i = 0; i < metric_arr.size(); ++i) {
+    const Json& obj = metric_arr.at(i);
+    BenchMetric m;
+    m.name = obj.at("name").as_string();
+    m.value = obj.at("value").as_number();
+    m.unit = obj.at("unit").as_string();
+    m.higher_is_better = obj.at("higher_is_better").as_bool();
+    s.metrics.push_back(std::move(m));
+  }
+
+  const Json& hist_arr = j.at("histograms");
+  for (std::size_t i = 0; i < hist_arr.size(); ++i) {
+    const Json& obj = hist_arr.at(i);
+    BenchHistogram h;
+    h.name = obj.at("name").as_string();
+    h.unit = obj.at("unit").as_string();
+    h.summary.count =
+        static_cast<std::uint64_t>(obj.at("count").as_integer());
+    h.summary.mean = obj.at("mean").as_number();
+    h.summary.min = obj.at("min").as_number();
+    h.summary.max = obj.at("max").as_number();
+    h.summary.p50 = obj.at("p50").as_number();
+    h.summary.p90 = obj.at("p90").as_number();
+    h.summary.p99 = obj.at("p99").as_number();
+    h.summary.p999 = obj.at("p999").as_number();
+    s.histograms.push_back(std::move(h));
+  }
+
+  const Json& prof_arr = j.at("profile");
+  for (std::size_t i = 0; i < prof_arr.size(); ++i) {
+    const Json& obj = prof_arr.at(i);
+    PhaseStats row;
+    row.name = obj.at("phase").as_string();
+    row.calls = static_cast<std::uint64_t>(obj.at("calls").as_integer());
+    row.total_seconds = obj.at("total_seconds").as_number();
+    row.self_seconds = obj.at("self_seconds").as_number();
+    s.profile.push_back(std::move(row));
+  }
+  return s;
+}
+
+void BenchSnapshot::write(const std::string& path) const {
+  std::ofstream out(path);
+  require(out.good(), "BenchSnapshot::write: cannot open '" + path + "'");
+  out << to_json().dump(2) << '\n';
+  require(out.good(), "BenchSnapshot::write: write failed for '" + path +
+                          "'");
+}
+
+BenchSnapshot BenchSnapshot::load(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "BenchSnapshot::load: cannot open '" + path + "'");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return from_json(Json::parse(buf.str()));
+}
+
+}  // namespace sttram::obs

@@ -1,0 +1,79 @@
+// Bench snapshot: the schema-versioned perf record every benchmark
+// emits as BENCH_<name>.json, giving the repo a performance trajectory
+// on disk (ROADMAP item 2).  One snapshot carries
+//
+//   - scalar metrics (throughput, wall time, ...) tagged with a unit and
+//     a regression direction (higher_is_better),
+//   - latency histograms as full percentile summaries
+//     (count/mean/min/max/p50/p90/p99/p999),
+//   - the flat phase profile captured from the Profiler,
+//   - provenance: git SHA, build type, compiler, thread count.
+//
+// tools/bench_compare diffs two snapshot sets; tests/test_obs.cpp
+// round-trips the schema.  Schema policy (DESIGN.md §11): additive
+// changes keep kSchemaVersion; renaming or removing a field bumps it,
+// and bench_compare refuses to diff snapshots with mismatched versions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttram/obs/histogram.hpp"
+#include "sttram/obs/profile.hpp"
+
+namespace sttram {
+class Json;
+}
+
+namespace sttram::obs {
+
+/// One scalar perf metric.
+struct BenchMetric {
+  std::string name;
+  double value = 0.0;
+  std::string unit;
+  /// Direction of goodness — bench_compare flags a drop in a
+  /// higher-is-better metric (throughput) and a rise in a
+  /// lower-is-better one (latency) as a regression.
+  bool higher_is_better = true;
+};
+
+/// One named latency/duration distribution.
+struct BenchHistogram {
+  std::string name;
+  std::string unit;
+  HistogramSummary summary;
+};
+
+/// A full snapshot of one benchmark run.
+struct BenchSnapshot {
+  static constexpr int kSchemaVersion = 1;
+
+  std::string bench;       ///< benchmark name ("traffic", "fault", ...)
+  std::string git_sha;     ///< short commit SHA ("unknown" outside git)
+  std::string build_type;  ///< CMAKE_BUILD_TYPE at compile time
+  std::string compiler;    ///< compiler id + version
+  int threads = 1;
+  std::vector<BenchMetric> metrics;
+  std::vector<BenchHistogram> histograms;
+  std::vector<PhaseStats> profile;
+
+  void add_metric(const std::string& name, double value,
+                  const std::string& unit, bool higher_is_better);
+  void add_histogram(const std::string& name, const Histogram& h,
+                     const std::string& unit);
+  /// Copies the current flat profile out of Profiler::instance().
+  void capture_profile();
+
+  [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json(); throws sttram::Error on a schema-version
+  /// mismatch or a missing field.
+  static BenchSnapshot from_json(const Json& j);
+
+  /// Writes pretty-printed JSON to `path` (throws sttram::Error on I/O
+  /// failure).
+  void write(const std::string& path) const;
+  static BenchSnapshot load(const std::string& path);
+};
+
+}  // namespace sttram::obs

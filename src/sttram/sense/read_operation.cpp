@@ -47,8 +47,11 @@ void add_phase(ReadResult& result, const std::string& name, Second duration,
   if (obs::metrics_enabled()) {
     auto& registry = obs::Registry::instance();
     registry.counter("read.phases").increment();
-    registry.timer("read.phase_latency_s." + name).record(duration.value());
-    registry.timer("read.phase_energy_J." + name).record(energy.value());
+    // Phase labels are free-form ("read1(I1,SLT1)"); normalize them into
+    // the registry's metric-name alphabet.
+    const std::string phase = obs::normalize_metric_name(name);
+    registry.timer("read.phase_latency_s." + phase).record(duration.value());
+    registry.timer("read.phase_energy_j." + phase).record(energy.value());
   }
 }
 

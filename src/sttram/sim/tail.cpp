@@ -5,6 +5,7 @@
 
 #include "sttram/common/error.hpp"
 #include "sttram/obs/metrics.hpp"
+#include "sttram/obs/profile.hpp"
 #include "sttram/obs/trace.hpp"
 
 namespace sttram {
@@ -37,6 +38,7 @@ TailEstimate estimate_margin_tail(const TailConfig& config,
                                   ParallelExecutor* executor) {
   STTRAM_OBS_COUNT("tail.searches");
   obs::TraceSpan span("estimate_margin_tail", "tail");
+  STTRAM_PROFILE_SCOPE("tail.search");
   // Atomic: the sampling-phase predicate may run on pool threads.
   std::atomic<std::size_t> margin_evals{0};
   const auto g = [&](const std::vector<double>& z) {

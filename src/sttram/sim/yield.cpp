@@ -5,6 +5,7 @@
 
 #include "sttram/common/error.hpp"
 #include "sttram/obs/metrics.hpp"
+#include "sttram/obs/profile.hpp"
 #include "sttram/obs/trace.hpp"
 #include "sttram/stats/distributions.hpp"
 #include "sttram/stats/rng.hpp"
@@ -35,6 +36,7 @@ YieldResult run_yield_experiment(const YieldConfig& config,
                                  ParallelExecutor* executor) {
   STTRAM_OBS_COUNT("yield.experiments");
   obs::TraceSpan span("run_yield_experiment", "yield");
+  STTRAM_PROFILE_SCOPE("yield.experiment");
   const bool metered = obs::metrics_enabled();
   const auto t_begin = std::chrono::steady_clock::now();
   const MtjParams nominal = MtjParams::paper_calibrated();

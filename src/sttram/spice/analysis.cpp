@@ -7,6 +7,7 @@
 #include "sttram/common/error.hpp"
 #include "sttram/common/format.hpp"
 #include "sttram/obs/metrics.hpp"
+#include "sttram/obs/profile.hpp"
 #include "sttram/obs/trace.hpp"
 #include "sttram/spice/elements.hpp"
 #include "sttram/spice/matrix.hpp"
@@ -55,6 +56,7 @@ struct NewtonReport {
 NewtonReport newton_solve(Circuit& circuit, StampContext ctx,
                           const NewtonOptions& opt, double gmin,
                           std::vector<double>& x) {
+  STTRAM_PROFILE_SCOPE("spice.newton");
   NewtonReport report;
   const bool nonlinear = any_nonlinear(circuit);
   ctx.x = &x;
@@ -270,6 +272,7 @@ TransientResult run_transient(Circuit& circuit,
   if (!circuit.finalized()) circuit.finalize();
   STTRAM_OBS_COUNT("spice.transient.runs");
   obs::TraceSpan transient_span("run_transient", "spice");
+  STTRAM_PROFILE_SCOPE("spice.transient");
 
   std::vector<std::string> names;
   names.reserve(circuit.node_count());

@@ -14,8 +14,8 @@ RunningStats monte_carlo_stats(
   RunningStats stats;
   const Xoshiro256 master(seed);
   const bool metered = obs::metrics_enabled();
-  obs::Timer* latency =
-      metered ? &obs::Registry::instance().timer("mc.trial_seconds")
+  obs::HistogramMetric* latency =
+      metered ? &obs::Registry::instance().histogram("mc.trial_seconds")
               : nullptr;
   const std::size_t stride = detail::progress_stride(options, trials);
   const auto t_begin = std::chrono::steady_clock::now();

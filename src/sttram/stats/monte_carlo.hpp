@@ -75,8 +75,10 @@ std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
   out.reserve(trials);
   const Xoshiro256 master(seed);
   const bool metered = obs::metrics_enabled();
-  obs::Timer* latency =
-      metered ? &obs::Registry::instance().timer("mc.trial_seconds")
+  // Per-trial solve times go to a histogram (lock-free record path, full
+  // percentile set in the exports) — the scalar mean hid the tail.
+  obs::HistogramMetric* latency =
+      metered ? &obs::Registry::instance().histogram("mc.trial_seconds")
               : nullptr;
   const std::size_t stride = detail::progress_stride(options, trials);
   const auto t_begin = std::chrono::steady_clock::now();

@@ -143,6 +143,68 @@ TEST(Json, TypeErrorsAndEmptyContainers) {
   EXPECT_FALSE(arr.is_object());
 }
 
+TEST(Json, ParseRoundTripsDumpOutput) {
+  Json obj = Json::object();
+  obj.set("name", Json::string("bench"));
+  obj.set("count", Json::integer(42));
+  obj.set("value", Json::number(2.5e-9));
+  obj.set("flag", Json::boolean(true));
+  obj.set("missing", Json::null());
+  Json arr = Json::array();
+  arr.push_back(Json::integer(1));
+  arr.push_back(Json::string("two"));
+  obj.set("items", std::move(arr));
+
+  // Both compact and pretty forms parse back to the same structure.
+  for (const int indent : {0, 2}) {
+    const Json back = Json::parse(obj.dump(indent));
+    EXPECT_EQ(back.at("name").as_string(), "bench");
+    EXPECT_EQ(back.at("count").as_integer(), 42);
+    EXPECT_DOUBLE_EQ(back.at("value").as_number(), 2.5e-9);
+    EXPECT_TRUE(back.at("flag").as_bool());
+    EXPECT_TRUE(back.at("missing").is_null());
+    ASSERT_EQ(back.at("items").size(), 2u);
+    EXPECT_EQ(back.at("items").at(0).as_integer(), 1);
+    EXPECT_EQ(back.at("items").at(1).as_string(), "two");
+    EXPECT_TRUE(back.contains("flag"));
+    EXPECT_FALSE(back.contains("absent"));
+  }
+}
+
+TEST(Json, ParseHandlesEscapesAndNumbers) {
+  const Json s = Json::parse("\"a\\\"b\\\\c\\nd\\u0041\"");
+  EXPECT_EQ(s.as_string(), "a\"b\\c\ndA");
+  EXPECT_DOUBLE_EQ(Json::parse("-1.5e-3").as_number(), -1.5e-3);
+  EXPECT_EQ(Json::parse("-7").as_integer(), -7);
+  // An integral double extracts as an integer; a fractional one throws.
+  EXPECT_EQ(Json::parse("3.0").as_integer(), 3);
+  EXPECT_THROW(Json::parse("3.5").as_integer(), InvalidArgument);
+  EXPECT_TRUE(Json::parse(" [ ] ").is_array());
+  EXPECT_EQ(Json::parse("{\"a\": {\"b\": [1, 2]}}")
+                .at("a")
+                .at("b")
+                .at(1)
+                .as_integer(),
+            2);
+}
+
+TEST(Json, ParseRejectsMalformedInput) {
+  EXPECT_THROW(Json::parse(""), InvalidArgument);
+  EXPECT_THROW(Json::parse("{"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1,]"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{\"a\" 1}"), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"unterminated"), InvalidArgument);
+  EXPECT_THROW(Json::parse("tru"), InvalidArgument);
+  EXPECT_THROW(Json::parse("1 2"), InvalidArgument);  // trailing garbage
+  EXPECT_THROW(Json::parse("nope"), InvalidArgument);
+  // Accessor type errors.
+  EXPECT_THROW(Json::parse("[1]").at("key"), InvalidArgument);
+  EXPECT_THROW(Json::parse("{}").at("missing"), InvalidArgument);
+  EXPECT_THROW(Json::parse("[1]").at(std::size_t{5}), InvalidArgument);
+  EXPECT_THROW(Json::parse("1").as_string(), InvalidArgument);
+  EXPECT_THROW(Json::parse("\"s\"").as_number(), InvalidArgument);
+}
+
 TEST(Vcd, HeaderAndChanges) {
   std::ostringstream os;
   const VcdWriter w("testbench", 1000.0);  // 1 ps timescale
