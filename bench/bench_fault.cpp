@@ -25,7 +25,10 @@ double seconds_since(std::chrono::steady_clock::time_point start) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  argc = bench::apply_bench_dir_flag(argc, argv);
+  (void)argc;
+  (void)argv;
   // threads=4: the fault-map generation section drives a 4-wide pool.
   obs::BenchSnapshot snap = bench::make_snapshot("fault", 4);
   bench::heading("Fault", "injection, SECDED recovery and march coverage");

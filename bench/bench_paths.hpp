@@ -1,0 +1,51 @@
+// Where bench artifacts land.  Every BENCH_*.json snapshot and
+// BENCH_*.metrics.json sidecar resolves its directory the same way:
+//
+//   1. the artifact-specific env knob (STTRAM_BENCH_SNAPSHOT_DIR for
+//      snapshots, STTRAM_BENCH_METRICS_DIR for sidecars), then
+//   2. the shared STTRAM_BENCH_DIR knob (also set by the --bench-dir
+//      flag every snapshot bench accepts), then
+//   3. bench_out/ under the working directory.
+//
+// Benches used to drop artifacts straight into the working directory,
+// which littered the repo root; bench_out/ keeps them (and the
+// committed reference artifacts) in one place.
+#pragma once
+
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+namespace sttram::bench {
+
+/// Resolves the output directory for one artifact family and creates it
+/// (best effort — artifact writers already tolerate unwritable paths).
+inline std::string output_dir(const char* specific_env) {
+  const char* dir =
+      specific_env != nullptr ? std::getenv(specific_env) : nullptr;
+  if (dir == nullptr || dir[0] == '\0') dir = std::getenv("STTRAM_BENCH_DIR");
+  const std::string out =
+      dir != nullptr && dir[0] != '\0' ? dir : "bench_out";
+  std::error_code ec;
+  std::filesystem::create_directories(out, ec);
+  return out;
+}
+
+/// Peels `--bench-dir <dir>` out of argv and exports it as
+/// STTRAM_BENCH_DIR so every snapshot/sidecar writer in the process
+/// sees it.  Returns the compacted argc; call first thing in main().
+inline int apply_bench_dir_flag(int argc, char** argv) {
+  int out = 1;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--bench-dir") == 0 && k + 1 < argc) {
+      ::setenv("STTRAM_BENCH_DIR", argv[k + 1], 1);
+      ++k;
+      continue;
+    }
+    argv[out++] = argv[k];
+  }
+  return out;
+}
+
+}  // namespace sttram::bench

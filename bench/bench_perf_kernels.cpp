@@ -120,6 +120,7 @@ class SnapshotReporter : public benchmark::ConsoleReporter {
 }  // namespace
 
 int main(int argc, char** argv) {
+  argc = sttram::bench::apply_bench_dir_flag(argc, argv);
   sttram::obs::BenchSnapshot snap =
       sttram::bench::make_snapshot("perf_kernels");
   benchmark::Initialize(&argc, argv);

@@ -18,7 +18,10 @@ using engine::SensingScheme;
 using engine::TrafficConfig;
 using engine::TrafficReport;
 
-int main() {
+int main(int argc, char** argv) {
+  argc = bench::apply_bench_dir_flag(argc, argv);
+  (void)argc;
+  (void)argv;
   obs::BenchSnapshot snap = bench::make_snapshot("traffic");
   bench::heading("Traffic", "discrete-event bank traffic by sensing scheme");
   const auto wall0 = std::chrono::steady_clock::now();

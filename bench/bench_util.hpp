@@ -1,7 +1,8 @@
 // Shared helpers for the reproduction benches: every bench prints its
 // figure/table and a "paper vs measured" summary block, and drops a
-// telemetry sidecar (BENCH_<id>.metrics.json) next to its output so the
-// result trajectories carry solver-health data.
+// telemetry sidecar (BENCH_<id>.metrics.json) into the bench output
+// directory (bench_paths.hpp) so the result trajectories carry
+// solver-health data.
 #pragma once
 
 #include <cctype>
@@ -10,6 +11,7 @@
 #include <iostream>
 #include <string>
 
+#include "bench_paths.hpp"
 #include "sttram/obs/metrics.hpp"
 
 namespace sttram::bench {
@@ -17,7 +19,8 @@ namespace sttram::bench {
 /// Enables telemetry for this bench process and arranges for the metrics
 /// registry to be dumped to BENCH_<id>.metrics.json at exit (the first
 /// heading of the run names the sidecar).  Set STTRAM_BENCH_METRICS=0 to
-/// opt out; STTRAM_BENCH_METRICS_DIR overrides the output directory.
+/// opt out; STTRAM_BENCH_METRICS_DIR (then STTRAM_BENCH_DIR, default
+/// bench_out/) picks the output directory.
 inline void enable_metrics_sidecar(const std::string& id) {
   static bool armed = false;
   if (armed) return;
@@ -31,11 +34,8 @@ inline void enable_metrics_sidecar(const std::string& id) {
     stem += std::isalnum(static_cast<unsigned char>(ch)) != 0 ? ch : '_';
   }
   static std::string path;
-  path = "BENCH_" + stem + ".metrics.json";
-  if (const char* dir = std::getenv("STTRAM_BENCH_METRICS_DIR");
-      dir != nullptr && dir[0] != '\0') {
-    path = std::string(dir) + "/" + path;
-  }
+  path = output_dir("STTRAM_BENCH_METRICS_DIR") + "/BENCH_" + stem +
+         ".metrics.json";
   sttram::obs::set_metrics_enabled(true);
   std::atexit(+[] {
     try {

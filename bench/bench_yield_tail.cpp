@@ -14,7 +14,10 @@
 
 using namespace sttram;
 
-int main() {
+int main(int argc, char** argv) {
+  argc = bench::apply_bench_dir_flag(argc, argv);
+  (void)argc;
+  (void)argv;
   obs::BenchSnapshot snap = bench::make_snapshot("yield_tail");
   bench::heading("Fig. 11 tail",
                  "importance-sampled per-bit failure probability");

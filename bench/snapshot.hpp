@@ -4,14 +4,17 @@
 // BENCH_<name>.json via write_snapshot().  tools/bench_compare diffs
 // two such snapshot sets and gates on regressions.
 //
-// Set STTRAM_BENCH_SNAPSHOT_DIR to redirect the output directory (CI
-// writes baselines and candidates side by side this way).
+// Snapshots land in bench_out/ by default; STTRAM_BENCH_SNAPSHOT_DIR
+// (or the shared STTRAM_BENCH_DIR / --bench-dir knob, see
+// bench_paths.hpp) redirects the output directory — CI writes baselines
+// and candidates side by side this way.
 #pragma once
 
 #include <cstdlib>
 #include <iostream>
 #include <string>
 
+#include "bench_paths.hpp"
 #include "sttram/obs/metrics.hpp"
 #include "sttram/obs/profile.hpp"
 #include "sttram/obs/snapshot.hpp"
@@ -47,15 +50,12 @@ inline obs::BenchSnapshot make_snapshot(const std::string& name,
 }
 
 /// Captures the flat phase profile and writes BENCH_<bench>.json into
-/// the working directory (or STTRAM_BENCH_SNAPSHOT_DIR).  Never throws:
-/// a bench must not fail because its snapshot is unwritable.
+/// the resolved bench output directory (bench_paths.hpp).  Never
+/// throws: a bench must not fail because its snapshot is unwritable.
 inline void write_snapshot(obs::BenchSnapshot& snap) {
   snap.capture_profile();
-  std::string path = "BENCH_" + snap.bench + ".json";
-  if (const char* dir = std::getenv("STTRAM_BENCH_SNAPSHOT_DIR");
-      dir != nullptr && dir[0] != '\0') {
-    path = std::string(dir) + "/" + path;
-  }
+  const std::string path = output_dir("STTRAM_BENCH_SNAPSHOT_DIR") +
+                           "/BENCH_" + snap.bench + ".json";
   try {
     snap.write(path);
     std::cout << "perf snapshot written to " << path << '\n';

@@ -9,6 +9,8 @@
 //   sttram_cli transient [0|1]        circuit-level (MNA) read summary
 //   sttram_cli traffic [flags]        discrete-event bank traffic simulation
 //   sttram_cli fault [flags]          inject faults, march, report coverage
+//   sttram_cli campaign <verb> ...    declarative scenario campaigns (run,
+//                                     list, expand, verify)
 //   sttram_cli stats                  telemetry snapshot of a demo workload
 //
 // Run `sttram_cli --help` for the full command and flag reference (the
@@ -18,6 +20,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -29,6 +32,8 @@
 #include "sttram/io/json.hpp"
 #include "sttram/io/table.hpp"
 #include "sttram/obs/obs.hpp"
+#include "sttram/scenario/campaign.hpp"
+#include "sttram/scenario/registry.hpp"
 #include "sttram/sense/design.hpp"
 #include "sttram/sense/margins.hpp"
 #include "sttram/sense/robustness.hpp"
@@ -113,6 +118,32 @@ void print_help() {
       "density (default 0.01)\n"
       "                             --json             machine-readable "
       "output\n"
+      "  campaign <verb> <file>   declarative scenario campaigns "
+      "(DESIGN.md\n"
+      "                           section 12); verbs:\n"
+      "                             run <file>         expand + execute, "
+      "print or\n"
+      "                                                write the report\n"
+      "                               --out <report>   write the campaign "
+      "report JSON\n"
+      "                               --json           print the report "
+      "as JSON\n"
+      "                             list               registered "
+      "experiment kinds\n"
+      "                                                and their "
+      "parameter schemas\n"
+      "                             expand <file>      print the expanded "
+      "scenario\n"
+      "                                                instances without "
+      "running\n"
+      "                               --json           machine-readable "
+      "output\n"
+      "                             verify <file>      re-run and diff "
+      "against a\n"
+      "                                                committed golden "
+      "report\n"
+      "                               --golden <report> golden report to "
+      "diff against\n"
       "  stats                    telemetry snapshot of a demo workload:\n"
       "                           counters, timers, latency-histogram\n"
       "                           percentiles and the phase profile\n"
@@ -715,6 +746,207 @@ int cmd_fault(int argc, char** argv) {
   return 0;
 }
 
+/// Loads a whole file; empty optional-on-failure via the `ok` flag.
+bool read_file(const std::string& path, std::string& out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  out = buf.str();
+  return true;
+}
+
+int cmd_campaign(int argc, char** argv) {
+  const auto usage = []() {
+    std::fprintf(stderr,
+                 "usage: sttram_cli campaign {run|list|expand|verify} "
+                 "[file] [--out <report>] [--golden <report>] [--json]\n");
+    return 2;
+  };
+  if (argc < 3) return usage();
+  const std::string verb = argv[2];
+
+  if (verb == "list") {
+    for (int k = 3; k < argc; ++k) {
+      std::fprintf(stderr, "error: unknown flag '%s' for 'campaign list'\n",
+                   argv[k]);
+      return 2;
+    }
+    scenario::register_builtin_kinds();
+    for (const scenario::ExperimentKind& kind :
+         scenario::Registry::instance().kinds()) {
+      std::printf("%s - %s\n", kind.name.c_str(), kind.description.c_str());
+      for (const scenario::ParamField& f : kind.schema.fields()) {
+        std::string type = to_string(f.type);
+        if (!f.choices.empty()) {
+          type += "(";
+          for (std::size_t i = 0; i < f.choices.size(); ++i) {
+            if (i > 0) type += "|";
+            type += f.choices[i];
+          }
+          type += ")";
+        }
+        std::printf("  %-18s %-10s %s\n", f.name.c_str(), type.c_str(),
+                    f.description.c_str());
+      }
+    }
+    return 0;
+  }
+
+  if (verb != "run" && verb != "expand" && verb != "verify") {
+    std::fprintf(stderr,
+                 "error: unknown campaign verb '%s' (try one of run, "
+                 "list, expand, verify)\n",
+                 verb.c_str());
+    return 2;
+  }
+
+  // Shared flag parse for run/expand/verify: one positional campaign
+  // file plus --out / --golden / --json where the verb supports them.
+  std::string campaign_path;
+  std::string out_path;
+  std::string golden_path;
+  bool as_json = false;
+  for (int k = 3; k < argc; ++k) {
+    const char* flag = argv[k];
+    const bool is_out = std::strcmp(flag, "--out") == 0;
+    const bool is_golden = std::strcmp(flag, "--golden") == 0;
+    if (is_out || is_golden) {
+      if (k + 1 >= argc) {
+        std::fprintf(stderr, "error: %s requires a value\n", flag);
+        return 2;
+      }
+      (is_out ? out_path : golden_path) = argv[++k];
+    } else if (std::strcmp(flag, "--json") == 0) {
+      as_json = true;
+    } else if (std::strncmp(flag, "--", 2) == 0) {
+      std::fprintf(stderr, "error: unknown flag '%s' for 'campaign %s'\n",
+                   flag, verb.c_str());
+      return 2;
+    } else if (campaign_path.empty()) {
+      campaign_path = flag;
+    } else {
+      std::fprintf(stderr, "error: extra argument '%s'\n", flag);
+      return 2;
+    }
+  }
+  if (campaign_path.empty()) {
+    std::fprintf(stderr, "error: campaign %s needs a campaign file\n",
+                 verb.c_str());
+    return 2;
+  }
+  if ((verb != "run" && !out_path.empty()) ||
+      (verb != "verify" && !golden_path.empty())) {
+    std::fprintf(stderr, "error: %s is not a 'campaign %s' flag\n",
+                 out_path.empty() ? "--golden" : "--out", verb.c_str());
+    return 2;
+  }
+  if (verb == "verify" && golden_path.empty()) {
+    std::fprintf(stderr,
+                 "error: campaign verify needs --golden <report>\n");
+    return 2;
+  }
+
+  std::string text;
+  if (!read_file(campaign_path, text)) {
+    std::fprintf(stderr, "error: cannot open campaign file '%s'\n",
+                 campaign_path.c_str());
+    return 2;
+  }
+  const scenario::CampaignSpec spec = scenario::parse_campaign_text(text);
+  scenario::register_builtin_kinds();
+
+  if (verb == "expand") {
+    const auto instances = scenario::expand_campaign(spec);
+    if (as_json) {
+      Json arr = Json::array();
+      for (const scenario::ScenarioInstance& inst : instances) {
+        Json j = Json::object();
+        j.set("name", Json::string(inst.name));
+        j.set("kind", Json::string(inst.kind));
+        j.set("seed",
+              Json::integer(static_cast<std::int64_t>(inst.seed)));
+        j.set("params", inst.params);
+        arr.push_back(std::move(j));
+      }
+      std::printf("%s\n", arr.dump(2).c_str());
+      return 0;
+    }
+    TextTable t({"#", "scenario", "kind", "seed"});
+    for (const scenario::ScenarioInstance& inst : instances) {
+      t.add_row({std::to_string(inst.index), inst.name, inst.kind,
+                 std::to_string(inst.seed)});
+    }
+    std::printf("campaign '%s': %zu scenario instance%s\n",
+                spec.name.c_str(), instances.size(),
+                instances.size() == 1 ? "" : "s");
+    std::printf("%s", t.to_string().c_str());
+    return 0;
+  }
+
+  const scenario::CampaignReport report =
+      scenario::run_campaign(spec, g_executor);
+
+  if (verb == "verify") {
+    std::string golden_text;
+    if (!read_file(golden_path, golden_text)) {
+      std::fprintf(stderr, "error: cannot open golden report '%s'\n",
+                   golden_path.c_str());
+      return 2;
+    }
+    const scenario::CampaignReport golden =
+        scenario::CampaignReport::from_json(Json::parse(golden_text));
+    const std::vector<scenario::MetricDiff> diffs =
+        scenario::diff_reports(golden, report, spec.tolerances);
+    if (diffs.empty()) {
+      std::printf("campaign '%s': PASS (%zu scenarios match '%s')\n",
+                  spec.name.c_str(), report.scenarios.size(),
+                  golden_path.c_str());
+      return 0;
+    }
+    std::printf("campaign '%s': FAIL (%zu mismatch%s vs '%s')\n",
+                spec.name.c_str(), diffs.size(),
+                diffs.size() == 1 ? "" : "es", golden_path.c_str());
+    TextTable t({"scenario", "metric", "detail"});
+    for (const scenario::MetricDiff& d : diffs) {
+      t.add_row({d.scenario, d.metric.empty() ? "-" : d.metric, d.detail});
+    }
+    std::printf("%s", t.to_string().c_str());
+    return 1;
+  }
+
+  // verb == "run"
+  const Json doc = report.to_json();
+  if (!out_path.empty()) {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::fprintf(stderr, "error: cannot write report '%s'\n",
+                   out_path.c_str());
+      return 1;
+    }
+    out << doc.dump(2) << "\n";
+  }
+  if (as_json || !out_path.empty()) {
+    if (as_json) std::printf("%s\n", doc.dump(2).c_str());
+    else
+      std::printf("campaign '%s': %zu scenarios -> %s\n",
+                  spec.name.c_str(), report.scenarios.size(),
+                  out_path.c_str());
+    return 0;
+  }
+  std::printf("campaign '%s' seed %llu: %zu scenario instance%s\n",
+              spec.name.c_str(),
+              static_cast<unsigned long long>(report.seed),
+              report.scenarios.size(),
+              report.scenarios.size() == 1 ? "" : "s");
+  TextTable t({"scenario", "kind", "metrics"});
+  for (const scenario::ScenarioResult& s : report.scenarios) {
+    t.add_row({s.name, s.kind, std::to_string(s.metrics.size())});
+  }
+  std::printf("%s", t.to_string().c_str());
+  return 0;
+}
+
 int cmd_stats(int argc, char** argv) {
   if (!reject_unknown_flags(argc, argv)) return 2;
   // Self-profiling snapshot: run one representative workload from each
@@ -822,7 +1054,7 @@ int main(int argc, char** argv) {
         "usage: sttram_cli [--metrics <file>] [--trace <file>] "
         "[--threads <n>] "
         "{margins|design|robustness|yield|tail|read|transient|traffic|"
-        "fault|stats|help} [args]\n");
+        "fault|campaign|stats|help} [args]\n");
     return 2;
   }
   if (!metrics_path.empty()) {
@@ -851,6 +1083,7 @@ int main(int argc, char** argv) {
     else if (cmd == "transient") rc = cmd_transient(sub_argc, sub_argv);
     else if (cmd == "traffic") rc = cmd_traffic(sub_argc, sub_argv);
     else if (cmd == "fault") rc = cmd_fault(sub_argc, sub_argv);
+    else if (cmd == "campaign") rc = cmd_campaign(sub_argc, sub_argv);
     else if (cmd == "stats") rc = cmd_stats(sub_argc, sub_argv);
     else if (cmd == "help" || cmd == "-h" || cmd == "--help") {
       print_help();
@@ -859,7 +1092,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr,
                    "error: unknown command '%s' (try one of margins, "
                    "design, robustness, yield, tail, read, transient, "
-                   "traffic, fault, stats, help)\n",
+                   "traffic, fault, campaign, stats, help)\n",
                    cmd.c_str());
       return 2;
     }

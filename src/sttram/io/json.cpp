@@ -1,7 +1,9 @@
 #include "sttram/io/json.hpp"
 
+#include <cerrno>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 #include "sttram/common/error.hpp"
 
@@ -255,22 +257,53 @@ namespace {
 /// Recursive-descent parser over the serialized text.  Numbers without
 /// '.', 'e' or 'E' parse as int64 when they fit, matching what dump()
 /// emitted; everything else becomes a double.
+///
+/// Hardened for untrusted files (campaign descriptions, golden
+/// reports): container nesting is capped at kMaxParseDepth so a
+/// pathological "[[[[..." cannot exhaust the stack, numbers must be
+/// finite (1e999 is rejected, not turned into inf) and fully consumed
+/// ("1.2.3" is an error), trailing non-whitespace after the document is
+/// rejected, and every message carries the 1-based line and column of
+/// the offending byte.
 class Parser {
  public:
+  /// Deepest accepted object/array nesting.  Far above anything the
+  /// library writes (campaign reports nest 4 deep) but well inside the
+  /// default stack for the ~3 frames this parser burns per level.
+  static constexpr int kMaxParseDepth = 64;
+
   explicit Parser(const std::string& text) : text_(text) {}
 
   Json parse_document() {
     Json v = parse_value();
     skip_ws();
-    require(pos_ == text_.size(), "Json::parse: trailing characters at " +
-                                      std::to_string(pos_));
+    if (pos_ != text_.size()) fail("trailing characters after document");
     return v;
   }
 
  private:
+  /// Throws InvalidArgument with `msg` plus the line/column of pos_.
+  /// Positions are computed only on the error path, so the happy path
+  /// never pays for them.
+  [[noreturn]] void fail(const std::string& msg) const {
+    std::size_t line = 1;
+    std::size_t column = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        column = 1;
+      } else {
+        ++column;
+      }
+    }
+    throw InvalidArgument("Json::parse: " + msg + " at line " +
+                          std::to_string(line) + ", column " +
+                          std::to_string(column));
+  }
+
   Json parse_value() {
     skip_ws();
-    require(pos_ < text_.size(), "Json::parse: unexpected end of input");
+    if (pos_ >= text_.size()) fail("unexpected end of input");
     const char c = text_[pos_];
     switch (c) {
       case '{':
@@ -294,21 +327,21 @@ class Parser {
   }
 
   Json parse_object() {
+    if (++depth_ > kMaxParseDepth) fail("nesting deeper than 64 levels");
     ++pos_;  // '{'
     Json obj = Json::object();
     skip_ws();
     if (peek() == '}') {
       ++pos_;
+      --depth_;
       return obj;
     }
     while (true) {
       skip_ws();
-      require(peek() == '"', "Json::parse: expected object key at " +
-                                 std::to_string(pos_));
+      if (peek() != '"') fail("expected object key");
       std::string key = parse_string();
       skip_ws();
-      require(peek() == ':',
-              "Json::parse: expected ':' at " + std::to_string(pos_));
+      if (peek() != ':') fail("expected ':'");
       ++pos_;
       obj.set(key, parse_value());
       skip_ws();
@@ -316,19 +349,21 @@ class Parser {
         ++pos_;
         continue;
       }
-      require(peek() == '}',
-              "Json::parse: expected ',' or '}' at " + std::to_string(pos_));
+      if (peek() != '}') fail("expected ',' or '}'");
       ++pos_;
+      --depth_;
       return obj;
     }
   }
 
   Json parse_array() {
+    if (++depth_ > kMaxParseDepth) fail("nesting deeper than 64 levels");
     ++pos_;  // '['
     Json arr = Json::array();
     skip_ws();
     if (peek() == ']') {
       ++pos_;
+      --depth_;
       return arr;
     }
     while (true) {
@@ -338,9 +373,9 @@ class Parser {
         ++pos_;
         continue;
       }
-      require(peek() == ']',
-              "Json::parse: expected ',' or ']' at " + std::to_string(pos_));
+      if (peek() != ']') fail("expected ',' or ']'");
       ++pos_;
+      --depth_;
       return arr;
     }
   }
@@ -349,14 +384,14 @@ class Parser {
     ++pos_;  // opening '"'
     std::string out;
     while (true) {
-      require(pos_ < text_.size(), "Json::parse: unterminated string");
+      if (pos_ >= text_.size()) fail("unterminated string");
       const char c = text_[pos_++];
       if (c == '"') return out;
       if (c != '\\') {
         out += c;
         continue;
       }
-      require(pos_ < text_.size(), "Json::parse: unterminated escape");
+      if (pos_ >= text_.size()) fail("unterminated escape");
       const char esc = text_[pos_++];
       switch (esc) {
         case '"':
@@ -384,8 +419,7 @@ class Parser {
           out += '\t';
           break;
         case 'u': {
-          require(pos_ + 4 <= text_.size(),
-                  "Json::parse: truncated \\u escape");
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
           unsigned code = 0;
           for (int i = 0; i < 4; ++i) {
             const char h = text_[pos_++];
@@ -397,7 +431,7 @@ class Parser {
             } else if (h >= 'A' && h <= 'F') {
               code |= static_cast<unsigned>(h - 'A' + 10);
             } else {
-              require(false, "Json::parse: bad \\u escape");
+              fail("bad \\u escape");
             }
           }
           // UTF-8 encode the BMP code point (dump() only ever emits
@@ -415,7 +449,7 @@ class Parser {
           break;
         }
         default:
-          require(false, "Json::parse: bad escape character");
+          fail("bad escape character");
       }
     }
   }
@@ -436,28 +470,34 @@ class Parser {
       }
     }
     const std::string tok = text_.substr(start, pos_ - start);
-    require(!tok.empty() && tok != "-",
-            "Json::parse: invalid number at " + std::to_string(start));
-    try {
-      if (integral) {
-        return Json::integer(std::stoll(tok));
-      }
-      return Json::number(std::stod(tok));
-    } catch (const std::exception&) {
-      // Out-of-range integer literal: fall back to double.
+    pos_ = start;  // errors below point at the number's first byte
+    if (tok.empty() || tok == "-") fail("invalid number");
+    if (integral) {
       try {
-        return Json::number(std::stod(tok));
+        Json v = Json::integer(std::stoll(tok));
+        pos_ = start + tok.size();
+        return v;
       } catch (const std::exception&) {
-        require(false, "Json::parse: invalid number '" + tok + "'");
+        // Out of int64 range: fall through to the double path.
       }
     }
-    return Json::null();  // unreachable
+    // strtod both converts and validates: a token it cannot consume
+    // entirely ("1.2.3", "1e", "1e+") is malformed, and an overflowing
+    // one ("1e999") yields inf, which JSON cannot represent.
+    errno = 0;
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str() + tok.size()) fail("malformed number '" + tok + "'");
+    if (!std::isfinite(v)) fail("non-finite number '" + tok + "'");
+    pos_ = start + tok.size();
+    return Json::number(v);
   }
 
   void expect_literal(const char* lit) {
     const std::string expected(lit);
-    require(text_.compare(pos_, expected.size(), expected) == 0,
-            "Json::parse: invalid literal at " + std::to_string(pos_));
+    if (text_.compare(pos_, expected.size(), expected) != 0) {
+      fail("invalid literal");
+    }
     pos_ += expected.size();
   }
 
@@ -478,6 +518,7 @@ class Parser {
 
   const std::string& text_;
   std::size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

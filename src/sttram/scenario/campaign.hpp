@@ -1,0 +1,82 @@
+// Campaign runner and golden-result regression.
+//
+// run_campaign() expands a CampaignSpec, validates every instance
+// against its experiment kind's schema up front, then fans the
+// instances out over the deterministic thread pool: chunk k of the
+// ParallelExecutor partition runs its instances serially into
+// pre-allocated disjoint result slots, and the report is reduced
+// serially in expansion order afterwards.  Together with the
+// per-instance forked RNG seeds (scenario.hpp) this keeps the campaign
+// report bit-identical for any --threads value — the repo-wide
+// determinism contract extends to whole campaigns.
+//
+// The report carries no wall-clock or environment data (that lives in
+// the obs registry: campaign.* counters and the scenario-duration
+// histogram, exported via --metrics), so `campaign verify` can diff a
+// re-run against a committed golden report exactly, per metric, with
+// optional relative tolerances for metrics declared non-exact.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "sttram/common/parallel.hpp"
+#include "sttram/io/json.hpp"
+#include "sttram/scenario/scenario.hpp"
+
+namespace sttram::scenario {
+
+/// Outcome of one scenario instance.
+struct ScenarioResult {
+  std::string name;
+  std::string kind;
+  std::uint64_t seed = 0;
+  Json params = Json::object();
+  Json metrics = Json::object();  ///< flat, deterministic metric map
+};
+
+/// Outcome of a whole campaign.
+struct CampaignReport {
+  /// Report schema version — same policy as the campaign format
+  /// (DESIGN.md §12): additive changes keep it, renames/removals bump.
+  static constexpr int kSchemaVersion = 1;
+
+  std::string campaign;
+  std::string description;
+  std::uint64_t seed = 1;
+  std::vector<ScenarioResult> scenarios;  ///< in expansion order
+
+  [[nodiscard]] Json to_json() const;
+  /// Inverse of to_json(); throws sttram::Error on a schema-version
+  /// mismatch or missing field.
+  static CampaignReport from_json(const Json& j);
+};
+
+/// Expands, validates and runs a campaign.  `executor` null runs
+/// serially; any executor yields a bit-identical report (see header
+/// comment).  Throws sttram::Error before running anything when a
+/// scenario fails validation; an error while running names the
+/// scenario instance.
+CampaignReport run_campaign(const CampaignSpec& spec,
+                            ParallelExecutor* executor = nullptr);
+
+/// One metric-level discrepancy between a golden and a candidate report.
+struct MetricDiff {
+  std::string scenario;
+  std::string metric;   ///< metric key, or "" for a structural mismatch
+  double golden = 0.0;
+  double candidate = 0.0;
+  double rel_error = 0.0;
+  std::string detail;   ///< human-readable one-liner
+};
+
+/// Diffs `candidate` against `golden` per scenario and metric.  A metric
+/// passes when |candidate - golden| <= tol * max(|golden|, |candidate|)
+/// with tol = tolerances.for_metric(name); tol 0 demands exact equality.
+/// Missing/extra scenarios or metrics are structural mismatches.  An
+/// empty result means the reports agree.
+std::vector<MetricDiff> diff_reports(const CampaignReport& golden,
+                                     const CampaignReport& candidate,
+                                     const VerifyTolerances& tolerances);
+
+}  // namespace sttram::scenario

@@ -1,0 +1,186 @@
+#include "sttram/scenario/scenario.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "sttram/common/error.hpp"
+#include "sttram/stats/rng.hpp"
+
+namespace sttram::scenario {
+
+double VerifyTolerances::for_metric(const std::string& name) const {
+  for (const auto& [metric, tol] : per_metric) {
+    if (metric == name) return tol;
+  }
+  return default_rel;
+}
+
+namespace {
+
+/// Every "seed" a scenario carries routes through this: the campaign
+/// seed and the expansion index feed a SplitMix64 stream, so sibling
+/// instances draw decorrelated seeds no matter how many axes expanded.
+std::uint64_t fork_instance_seed(std::uint64_t campaign_seed,
+                                 std::size_t index) {
+  SplitMix64 sm(campaign_seed ^
+                (0x9e3779b97f4a7c15ULL * (static_cast<std::uint64_t>(index) +
+                                          1)));
+  return sm.next_u64();
+}
+
+std::string require_string(const Json& obj, const std::string& key,
+                           const std::string& context) {
+  require(obj.contains(key), context + ": missing required key '" + key +
+                                 "'");
+  require(obj.at(key).is_string(),
+          context + ": key '" + key + "' wants a string");
+  return obj.at(key).as_string();
+}
+
+}  // namespace
+
+CampaignSpec parse_campaign(const Json& doc) {
+  require(doc.is_object(), "campaign: document must be a JSON object");
+  require(doc.contains("schema_version"),
+          "campaign: missing required key 'schema_version'");
+  const std::int64_t version = doc.at("schema_version").as_integer();
+  require(version == kCampaignSchemaVersion,
+          "campaign: schema_version " + std::to_string(version) +
+              " unsupported (this build reads version " +
+              std::to_string(kCampaignSchemaVersion) + ")");
+
+  CampaignSpec spec;
+  spec.name = require_string(doc, "name", "campaign");
+  if (doc.contains("description")) {
+    spec.description = doc.at("description").as_string();
+  }
+  if (doc.contains("seed")) {
+    spec.seed = static_cast<std::uint64_t>(doc.at("seed").as_integer());
+  }
+  if (doc.contains("defaults")) {
+    spec.defaults = doc.at("defaults");
+    require(spec.defaults.is_object(),
+            "campaign: 'defaults' wants a JSON object");
+  }
+  if (doc.contains("tolerances")) {
+    const Json& tol = doc.at("tolerances");
+    require(tol.is_object(), "campaign: 'tolerances' wants a JSON object");
+    for (const std::string& key : tol.keys()) {
+      const double value = tol.at(key).as_number();
+      require(value >= 0.0,
+              "campaign: tolerance '" + key + "' must be >= 0");
+      if (key == "default_rel") {
+        spec.tolerances.default_rel = value;
+      } else {
+        spec.tolerances.per_metric.emplace_back(key, value);
+      }
+    }
+  }
+
+  require(doc.contains("scenarios") && doc.at("scenarios").is_array(),
+          "campaign: missing 'scenarios' array");
+  require(doc.at("scenarios").size() > 0,
+          "campaign: 'scenarios' must not be empty");
+  for (std::size_t i = 0; i < doc.at("scenarios").size(); ++i) {
+    const Json& s = doc.at("scenarios").at(i);
+    const std::string context = "campaign: scenarios[" + std::to_string(i) +
+                                "]";
+    require(s.is_object(), context + ": wants a JSON object");
+    ScenarioSpec entry;
+    entry.name = require_string(s, "name", context);
+    entry.kind = require_string(s, "kind", context);
+    for (const std::string& key : s.keys()) {
+      require(key == "name" || key == "kind" || key == "params" ||
+                  key == "sweep" || key == "description",
+              context + ": unknown key '" + key + "'");
+    }
+    if (s.contains("params")) {
+      entry.params = s.at("params");
+      require(entry.params.is_object(),
+              context + ": 'params' wants a JSON object");
+    }
+    if (s.contains("sweep")) {
+      entry.sweep = s.at("sweep");
+      require(entry.sweep.is_object(),
+              context + ": 'sweep' wants a JSON object");
+      for (const std::string& axis : entry.sweep.keys()) {
+        require(entry.sweep.at(axis).is_array() &&
+                    entry.sweep.at(axis).size() > 0,
+                context + ": sweep axis '" + axis +
+                    "' wants a non-empty array");
+        require(!entry.params.contains(axis),
+                context + ": axis '" + axis +
+                    "' appears in both 'params' and 'sweep'");
+      }
+    }
+    for (const ScenarioSpec& prior : spec.scenarios) {
+      require(prior.name != entry.name,
+              context + ": duplicate scenario name '" + entry.name + "'");
+    }
+    spec.scenarios.push_back(std::move(entry));
+  }
+  return spec;
+}
+
+CampaignSpec parse_campaign_text(const std::string& text) {
+  return parse_campaign(Json::parse(text));
+}
+
+std::string format_axis_value(const Json& value) {
+  if (value.is_string()) return value.as_string();
+  if (value.is_bool()) return value.as_bool() ? "true" : "false";
+  if (value.is_number()) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%g", value.as_number());
+    return buf;
+  }
+  return value.dump(0);
+}
+
+std::vector<ScenarioInstance> expand_campaign(const CampaignSpec& spec) {
+  std::vector<ScenarioInstance> out;
+  std::size_t index = 0;
+  for (const ScenarioSpec& s : spec.scenarios) {
+    // Axes iterate in sorted key order (Json objects are ordered maps),
+    // values in listed order; the rightmost axis varies fastest.
+    const std::vector<std::string> axes = s.sweep.keys();
+    std::size_t combos = 1;
+    for (const std::string& axis : axes) combos *= s.sweep.at(axis).size();
+    for (std::size_t c = 0; c < combos; ++c) {
+      ScenarioInstance inst;
+      inst.kind = s.kind;
+      inst.index = index;
+      // defaults, then fixed params, then the axis values of combo c.
+      inst.params = Json::object();
+      if (spec.defaults.is_object()) {
+        for (const std::string& key : spec.defaults.keys()) {
+          inst.params.set(key, spec.defaults.at(key));
+        }
+      }
+      for (const std::string& key : s.params.keys()) {
+        inst.params.set(key, s.params.at(key));
+      }
+      inst.name = s.name;
+      std::size_t stride = combos;
+      std::string suffix;
+      for (const std::string& axis : axes) {
+        const Json& values = s.sweep.at(axis);
+        stride /= values.size();
+        const Json& value = values.at((c / stride) % values.size());
+        inst.params.set(axis, value);
+        suffix += (suffix.empty() ? "" : ",") + axis + "=" +
+                  format_axis_value(value);
+      }
+      if (!suffix.empty()) inst.name += "/" + suffix;
+      inst.seed = inst.params.contains("seed")
+                      ? static_cast<std::uint64_t>(
+                            inst.params.at("seed").as_integer())
+                      : fork_instance_seed(spec.seed, index);
+      out.push_back(std::move(inst));
+      ++index;
+    }
+  }
+  return out;
+}
+
+}  // namespace sttram::scenario

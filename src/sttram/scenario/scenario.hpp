@@ -1,0 +1,101 @@
+// Declarative scenario format: a JSON campaign description expands into
+// concrete, schema-validated experiment instances.
+//
+// A campaign file looks like
+//
+//   {
+//     "schema_version": 1,
+//     "name": "traffic_fault_sweep",
+//     "description": "latency under load across schemes and fault rates",
+//     "seed": 42,
+//     "defaults": {"requests": 20000},
+//     "scenarios": [
+//       {"name": "load", "kind": "traffic",
+//        "params": {"policy": "fcfs"},
+//        "sweep": {"scheme": ["conventional", "nondestructive"],
+//                  "rho": [0.4, 0.8]}}
+//     ],
+//     "tolerances": {"default_rel": 0.0}
+//   }
+//
+// Each scenario's `sweep` block is a map from parameter name to a list
+// of values; expansion takes the cartesian product over the axes (axes
+// iterate in sorted key order, values in listed order) and merges each
+// combination over `defaults` + `params`.  Every expanded instance gets
+// a deterministic name ("load/rho=0.4,scheme=conventional") and a
+// per-instance RNG seed forked from the campaign seed by expansion
+// index, so campaigns are reproducible bit-for-bit regardless of how
+// the runner schedules them.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sttram/io/json.hpp"
+
+namespace sttram::scenario {
+
+/// Campaign-file schema version (see DESIGN.md §12 for the policy:
+/// additive changes keep the number, renames/removals bump it).
+inline constexpr int kCampaignSchemaVersion = 1;
+
+/// One scenario entry as written in the campaign file (pre-expansion).
+struct ScenarioSpec {
+  std::string name;
+  std::string kind;
+  Json params = Json::object();  ///< fixed parameters
+  Json sweep = Json::object();   ///< axis name -> array of values
+};
+
+/// Per-metric comparison tolerances for `campaign verify`.  The default
+/// is exact (0.0): every experiment in this repo is deterministic, so a
+/// golden report reproduces bit-for-bit.  Individual metrics can relax
+/// to a relative tolerance (e.g. for future wall-clock metrics).
+struct VerifyTolerances {
+  double default_rel = 0.0;
+  /// Overrides by metric name (exact match on the flat metric key).
+  std::vector<std::pair<std::string, double>> per_metric;
+
+  [[nodiscard]] double for_metric(const std::string& name) const;
+};
+
+/// A parsed campaign description.
+struct CampaignSpec {
+  std::string name;
+  std::string description;
+  std::uint64_t seed = 1;
+  Json defaults = Json::object();
+  std::vector<ScenarioSpec> scenarios;
+  VerifyTolerances tolerances;
+};
+
+/// One concrete, runnable experiment instance after sweep expansion.
+struct ScenarioInstance {
+  std::string name;   ///< spec name + "/axis=value,..." when swept
+  std::string kind;
+  Json params = Json::object();  ///< defaults + params + sweep values
+  std::uint64_t seed = 1;        ///< forked from the campaign seed
+  std::size_t index = 0;         ///< position in expansion order
+};
+
+/// Parses a campaign document.  Throws sttram::Error on a schema-version
+/// mismatch, a malformed block, or an unknown/ill-typed field; the
+/// message names the offending scenario.  Parameter validation against
+/// the experiment kind's schema happens in the registry (so this parser
+/// has no dependency on the registered kinds).
+CampaignSpec parse_campaign(const Json& doc);
+
+/// Convenience: Json::parse + parse_campaign.
+CampaignSpec parse_campaign_text(const std::string& text);
+
+/// Expands every scenario's sweep block into concrete instances, in
+/// campaign order.  Instance i's seed is forked deterministically from
+/// `spec.seed` and i, unless the merged params pin "seed" explicitly.
+std::vector<ScenarioInstance> expand_campaign(const CampaignSpec& spec);
+
+/// Formats a swept axis value for an instance name ("0.4", "fcfs",
+/// "true"); numbers use shortest-round-trip style %g formatting.
+std::string format_axis_value(const Json& value);
+
+}  // namespace sttram::scenario

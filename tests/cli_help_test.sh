@@ -8,6 +8,8 @@
 # 2. Every `--flag` string literal the source's parsers accept must
 #    appear in that help text — a flag you can pass but cannot discover
 #    is a documentation bug.
+# 3. Usage errors exit 2: unknown commands, unknown campaign verbs and
+#    unknown campaign flags all refuse with the documented status.
 set -eu
 
 cli="$1"
@@ -49,6 +51,22 @@ for flag in $flags; do
   fi
 done
 
+# Usage errors must exit 2 (not 0, not a crash).
+expect_exit2() {
+  rc=0
+  "$@" >/dev/null 2>&1 || rc=$?
+  if [ "$rc" -ne 2 ]; then
+    echo "FAIL: '$*' exited $rc, want 2" >&2
+    status=1
+  fi
+}
+expect_exit2 "$cli" no-such-command
+expect_exit2 "$cli" campaign bogus-verb
+expect_exit2 "$cli" campaign
+expect_exit2 "$cli" campaign run --bogus-flag
+expect_exit2 "$cli" campaign run
+expect_exit2 "$cli" campaign verify /nonexistent.json
+
 count="$(echo "$flags" | wc -l)"
-[ "$status" -eq 0 ] && echo "OK: help texts identical, $count flags documented"
+[ "$status" -eq 0 ] && echo "OK: help texts identical, $count flags documented, usage errors exit 2"
 exit "$status"

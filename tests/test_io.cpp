@@ -205,6 +205,70 @@ TEST(Json, ParseRejectsMalformedInput) {
   EXPECT_THROW(Json::parse("\"s\"").as_number(), InvalidArgument);
 }
 
+// Expects `text` to be rejected with a message carrying `needle` —
+// the per-rejection-path checks for the hardened untrusted-file parser.
+static void expect_parse_error(const std::string& text,
+                               const std::string& needle) {
+  try {
+    Json::parse(text);
+    FAIL() << "expected Json::parse to reject: " << text;
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+        << "message '" << e.what() << "' lacks '" << needle << "'";
+  }
+}
+
+TEST(Json, ParseCapsNestingDepth) {
+  // 64 levels of arrays parse; 65 trip the guard before any recursion
+  // can threaten the stack.
+  const std::string ok(64, '[');
+  EXPECT_NO_THROW(Json::parse(ok + std::string(64, ']')));
+  const std::string deep(65, '[');
+  expect_parse_error(deep + std::string(65, ']'), "nesting deeper");
+  // Mixed object/array nesting counts against the same budget.
+  std::string mixed;
+  for (int i = 0; i < 40; ++i) mixed += "{\"k\":[";
+  expect_parse_error(mixed, "nesting deeper");
+}
+
+TEST(Json, ParseRejectsTrailingGarbageWithPosition) {
+  expect_parse_error("{\"a\": 1}\nbogus", "trailing characters");
+  expect_parse_error("{\"a\": 1}\nbogus", "line 2, column 1");
+  expect_parse_error("[1, 2] []", "line 1, column 8");
+  // Trailing whitespace is not garbage.
+  EXPECT_NO_THROW(Json::parse("{\"a\": 1}\n\n  "));
+}
+
+TEST(Json, ParseRejectsNonFiniteNumbers) {
+  expect_parse_error("1e999", "non-finite");
+  expect_parse_error("[-1e999]", "non-finite");
+  expect_parse_error("{\"v\": 1e999999}", "non-finite");
+  // JSON has no inf/nan literals; these die as invalid literals, not
+  // as numbers.
+  EXPECT_THROW(Json::parse("inf"), InvalidArgument);
+  EXPECT_THROW(Json::parse("nan"), InvalidArgument);
+  // Underflow to zero stays representable and is accepted.
+  EXPECT_EQ(Json::parse("1e-999").as_number(), 0.0);
+}
+
+TEST(Json, ParseRejectsMalformedNumbers) {
+  expect_parse_error("1.2.3", "malformed number");
+  expect_parse_error("1e", "malformed number");
+  expect_parse_error("1e+", "malformed number");
+  expect_parse_error("1-2", "malformed number");
+  expect_parse_error("-", "invalid number");
+  // Out-of-int64-range integers still degrade to doubles.
+  EXPECT_DOUBLE_EQ(Json::parse("123456789012345678901234567890").as_number(),
+                   1.2345678901234568e29);
+}
+
+TEST(Json, ParseErrorsCarryLineAndColumn) {
+  expect_parse_error("{\n  \"a\": 1,\n  bad\n}", "line 3, column 3");
+  expect_parse_error("[1,\n 2,\n tru]", "line 3, column 2");
+  // Every message keeps the Json::parse prefix for grep-ability.
+  expect_parse_error("{", "Json::parse");
+}
+
 TEST(Vcd, HeaderAndChanges) {
   std::ostringstream os;
   const VcdWriter w("testbench", 1000.0);  // 1 ps timescale
