@@ -26,6 +26,7 @@
 
 #include "sttram/common/format.hpp"
 #include "sttram/engine/bank_sim.hpp"
+#include "sttram/engine/controller/controller.hpp"
 #include "sttram/fault/fault.hpp"
 #include "sttram/engine/thread_pool.hpp"
 #include "sttram/engine/workload.hpp"
@@ -104,6 +105,27 @@ void print_help() {
       "recovery\n"
       "                             --retry <n>        max read attempts "
       "(default 3)\n"
+      "                           chip-scale controller mode (channels x "
+      "ranks x\n"
+      "                           banks, command-level FR-FCFS "
+      "scheduling):\n"
+      "                             --controller       enable controller "
+      "mode\n"
+      "                             --channels <n>     channel count "
+      "(default 4)\n"
+      "                             --ranks <n>        ranks per channel "
+      "(default 2)\n"
+      "                             --banks <n>        banks per rank "
+      "(default 8)\n"
+      "                             --rows <n>         rows per bank "
+      "(default 64)\n"
+      "                             --row-locality <f> P(reuse last row) "
+      "(default 0.6)\n"
+      "                             --scheduler <fcfs|frfcfs>\n"
+      "                             --starvation-cap <n> FR-FCFS aging "
+      "cap (default 8)\n"
+      "                             --no-coalesce      disable read "
+      "coalescing\n"
       "  fault [flags]            inject a fault map, run March C- with "
       "every\n"
       "                           scheme, report per-class detection "
@@ -438,6 +460,14 @@ int cmd_transient(int argc, char** argv) {
 
 int cmd_traffic(int argc, char** argv) {
   engine::TrafficConfig cfg;
+  engine::controller::ControllerConfig ctl;
+  bool controller_mode = false;
+  bool saw_banks = false;
+  bool saw_requests = false;
+  /// First bank-mode-only flag seen (incompatible with --controller).
+  const char* bank_only = nullptr;
+  /// First controller-only flag seen (requires --controller).
+  const char* ctl_only = nullptr;
   std::string trace_path;
   double fault_ber = -1.0;
   bool ecc = false;
@@ -464,9 +494,46 @@ int cmd_traffic(int argc, char** argv) {
     } else if (std::strcmp(flag, "--requests") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       cfg.requests = static_cast<std::size_t>(std::atoll(value));
+      saw_requests = true;
     } else if (std::strcmp(flag, "--banks") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       cfg.banks = static_cast<std::size_t>(std::atoll(value));
+      saw_banks = true;
+    } else if (std::strcmp(flag, "--controller") == 0) {
+      controller_mode = true;
+    } else if (std::strcmp(flag, "--channels") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      ctl.channels = static_cast<std::size_t>(std::atoll(value));
+      ctl_only = flag;
+    } else if (std::strcmp(flag, "--ranks") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      ctl.ranks = static_cast<std::size_t>(std::atoll(value));
+      ctl_only = flag;
+    } else if (std::strcmp(flag, "--rows") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      ctl.rows = static_cast<std::size_t>(std::atoll(value));
+      ctl_only = flag;
+    } else if (std::strcmp(flag, "--row-locality") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      ctl.row_locality = std::atof(value);
+      ctl_only = flag;
+    } else if (std::strcmp(flag, "--scheduler") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      if (!engine::controller::parse_scheduler(value, ctl.scheduler)) {
+        std::fprintf(stderr,
+                     "error: unknown scheduler '%s' (want fcfs or "
+                     "frfcfs)\n",
+                     value);
+        return 2;
+      }
+      ctl_only = flag;
+    } else if (std::strcmp(flag, "--starvation-cap") == 0) {
+      if ((value = flag_value(k)) == nullptr) return 2;
+      ctl.starvation_cap = static_cast<std::size_t>(std::atoll(value));
+      ctl_only = flag;
+    } else if (std::strcmp(flag, "--no-coalesce") == 0) {
+      ctl.coalescing = false;
+      ctl_only = flag;
     } else if (std::strcmp(flag, "--policy") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       if (std::strcmp(value, "fcfs") == 0) {
@@ -480,6 +547,7 @@ int cmd_traffic(int argc, char** argv) {
                      value);
         return 2;
       }
+      bank_only = flag;
     } else if (std::strcmp(flag, "--workload") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       if (std::strcmp(value, "poisson") == 0) {
@@ -495,6 +563,7 @@ int cmd_traffic(int argc, char** argv) {
                      value);
         return 2;
       }
+      bank_only = flag;
     } else if (std::strcmp(flag, "--rho") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       cfg.utilization = std::atof(value);
@@ -504,9 +573,11 @@ int cmd_traffic(int argc, char** argv) {
     } else if (std::strcmp(flag, "--clients") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       cfg.clients = static_cast<std::size_t>(std::atoll(value));
+      bank_only = flag;
     } else if (std::strcmp(flag, "--think-ns") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       cfg.think_time = Second(std::atof(value) * 1e-9);
+      bank_only = flag;
     } else if (std::strcmp(flag, "--seed") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       cfg.seed = static_cast<std::uint64_t>(std::atoll(value));
@@ -516,6 +587,7 @@ int cmd_traffic(int argc, char** argv) {
     } else if (std::strcmp(flag, "--trace-file") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       trace_path = value;
+      bank_only = flag;
     } else if (std::strcmp(flag, "--faults") == 0) {
       if ((value = flag_value(k)) == nullptr) return 2;
       fault_ber = std::atof(value);
@@ -529,6 +601,125 @@ int cmd_traffic(int argc, char** argv) {
                    flag);
       return 2;
     }
+  }
+  if (!controller_mode && ctl_only != nullptr) {
+    std::fprintf(stderr, "error: %s requires --controller\n", ctl_only);
+    return 2;
+  }
+  if (controller_mode && bank_only != nullptr) {
+    std::fprintf(stderr,
+                 "error: %s is incompatible with --controller (the "
+                 "controller is open-loop Poisson, FR-FCFS scheduled)\n",
+                 bank_only);
+    return 2;
+  }
+  if (controller_mode) {
+    ctl.scheme = cfg.scheme;
+    ctl.cost = cfg.cost;
+    if (saw_banks) ctl.banks = cfg.banks;
+    if (saw_requests) ctl.requests = cfg.requests;
+    ctl.read_fraction = cfg.read_fraction;
+    ctl.utilization = cfg.utilization;
+    ctl.word_bits = cfg.word_bits;
+    ctl.seed = cfg.seed;
+    if (ecc && fault_ber < 0.0) {
+      std::fprintf(stderr, "error: --ecc needs --faults <ber>\n");
+      return 2;
+    }
+    if (retry < 1) {
+      std::fprintf(stderr, "error: --retry wants a count >= 1\n");
+      return 2;
+    }
+    std::unique_ptr<fault::TrafficFaultModel> fault_model;
+    if (fault_ber >= 0.0) {
+      fault::TrafficFaultConfig fc;
+      fc.raw_ber = fault_ber;
+      fc.ecc = ecc;
+      fc.max_attempts = static_cast<std::uint32_t>(retry);
+      const engine::BankTiming timing =
+          engine::scheme_bank_timing(ctl.scheme, ctl.cost);
+      fc.retry_latency = timing.read_service;
+      fc.retry_energy = timing.read_energy;
+      fc.seed = ctl.seed ^ 0x5717fa7ee1dULL;
+      fault_model = std::make_unique<fault::TrafficFaultModel>(fc);
+      ctl.faults = fault_model.get();
+    }
+
+    namespace ctrl = engine::controller;
+    const ctrl::ControllerReport r =
+        ctrl::run_controller_traffic(ctl, g_executor);
+    std::printf("%s chip: %zu channels x %zu ranks x %zu banks "
+                "(%zu rows/bank), %s scheduler, %zu requests "
+                "(%zu reads / %zu writes)\n",
+                r.scheme.c_str(), r.channels, r.ranks, r.banks, r.rows,
+                r.scheduler.c_str(), r.requests, r.reads, r.writes);
+    std::printf("command timing: RD %s, WR %s, tRCD %s, tRP %s\n",
+                format(r.timing.t_read).c_str(),
+                format(r.timing.t_write).c_str(),
+                format(r.timing.t_rcd).c_str(),
+                format(r.timing.t_rp).c_str());
+    TextTable t({"metric", "value"});
+    t.add_row({"mean latency", format(r.mean_latency)});
+    t.add_row({"p50 latency", format(r.p50_latency)});
+    t.add_row({"p90 latency", format(r.p90_latency)});
+    t.add_row({"p99 latency", format(r.p99_latency)});
+    t.add_row({"p99.9 latency", format(r.p999_latency)});
+    t.add_row({"max latency", format(r.max_latency)});
+    t.add_row({"mean queue wait", format(r.mean_queue_wait)});
+    t.add_row({"makespan", format(r.makespan)});
+    t.add_row({"row hit rate", format_percent(r.row_hit_rate)});
+    t.add_row({"row hits / misses / conflicts",
+               std::to_string(r.row_hits) + " / " +
+                   std::to_string(r.row_misses) + " / " +
+                   std::to_string(r.row_conflicts)});
+    t.add_row({"coalesced reads", std::to_string(r.coalesced_reads)});
+    t.add_row({"starvation promotions",
+               std::to_string(r.starvation_promotions)});
+    t.add_row({"peak queue depth", std::to_string(r.peak_queue_depth)});
+    t.add_row({"total bandwidth",
+               format_double(r.total_bandwidth_mbps, 5) + " Mb/s"});
+    t.add_row({"total energy", format(r.total_energy)});
+    t.add_row({"energy per bit",
+               format_double(r.energy_per_bit_pj, 4) + " pJ"});
+    if (r.faults_enabled) {
+      t.add_row({"raw bit errors",
+                 std::to_string(r.faults.raw_bit_errors)});
+      t.add_row({"faulty reads", std::to_string(r.faults.faulty_reads)});
+      t.add_row({"retries", std::to_string(r.faults.retries)});
+      t.add_row({"ECC corrected",
+                 std::to_string(r.faults.corrected_words)});
+      t.add_row({"ECC uncorrectable",
+                 std::to_string(r.faults.uncorrectable_words)});
+      t.add_row({"silent corruptions",
+                 std::to_string(r.faults.silent_corruptions)});
+      t.add_row({"recovery latency", format(r.faults.extra_latency)});
+      t.add_row({"recovery energy", format(r.faults.extra_energy)});
+    }
+    std::printf("%s", t.to_string().c_str());
+
+    TextTable per({"channel", "requests", "mean lat", "p99 lat",
+                   "bandwidth", "bank util", "row hit"});
+    for (std::size_t c = 0; c < r.channel.size(); ++c) {
+      const ctrl::ChannelReport& ch = r.channel[c];
+      const std::size_t rows_served =
+          ch.row_hits + ch.row_misses + ch.row_conflicts;
+      per.add_row({std::to_string(c), std::to_string(ch.requests),
+                   format(ch.mean_latency), format(ch.p99_latency),
+                   format_double(ch.bandwidth_mbps, 5) + " Mb/s",
+                   format_percent(ch.avg_bank_utilization),
+                   format_percent(rows_served > 0
+                                      ? static_cast<double>(ch.row_hits) /
+                                            static_cast<double>(rows_served)
+                                      : 0.0)});
+    }
+    std::printf("%s", per.to_string().c_str());
+
+    std::printf("\nread command sequence (row miss, %s):\n",
+                r.scheme.c_str());
+    std::printf("%s", ctrl::render_command_sequence(
+                          ctrl::read_command_sequence(ctl.scheme, ctl.cost))
+                          .c_str());
+    return 0;
   }
   if (!trace_path.empty()) {
     std::ifstream in(trace_path);

@@ -31,8 +31,16 @@ class CircuitError : public Error {
 };
 
 /// Throws InvalidArgument with `message` unless `condition` holds.
+/// The literal overload matters: nearly every call site passes a string
+/// literal, and taking it as `const std::string&` would construct (and
+/// for messages past the SSO limit, heap-allocate) the string on every
+/// call — tens of ns on hot paths that only throw on caller bugs.
+inline void require(bool condition, const char* message) {
+  if (!condition) [[unlikely]] throw InvalidArgument(message);
+}
+
 inline void require(bool condition, const std::string& message) {
-  if (!condition) throw InvalidArgument(message);
+  if (!condition) [[unlikely]] throw InvalidArgument(message);
 }
 
 }  // namespace sttram

@@ -6,21 +6,6 @@
 
 namespace sttram::obs {
 
-std::size_t HistogramLayout::bucket_index(double v) {
-  if (!(v > 0.0)) return 0;  // zero, negative and NaN
-  int exp = 0;
-  const double mant = std::frexp(v, &exp);  // v = mant * 2^exp, mant in [0.5, 1)
-  const int octave = exp - 1;               // v = (2*mant) * 2^octave
-  if (octave < kMinExponent) return 0;
-  if (octave >= kMaxExponent) return kBucketCount - 1;
-  int sub = static_cast<int>((2.0 * mant - 1.0) *
-                             static_cast<double>(kSubBuckets));
-  if (sub >= kSubBuckets) sub = kSubBuckets - 1;  // guard rounding at 1.0
-  return 1 +
-         static_cast<std::size_t>(octave - kMinExponent) * kSubBuckets +
-         static_cast<std::size_t>(sub);
-}
-
 double HistogramLayout::bucket_lower(std::size_t index) {
   if (index == 0) return 0.0;
   if (index >= kBucketCount - 1) return std::ldexp(1.0, kMaxExponent);
@@ -61,18 +46,6 @@ Json HistogramSummary::to_json() const {
   out.set("p99", Json::number(p99));
   out.set("p999", Json::number(p999));
   return out;
-}
-
-void Histogram::record(double v) {
-  ++counts_[bucket_index(v)];
-  if (count_ == 0) {
-    min_ = max_ = v;
-  } else {
-    if (v < min_) min_ = v;
-    if (v > max_) max_ = v;
-  }
-  ++count_;
-  sum_ += v;
 }
 
 void Histogram::merge(const Histogram& other) {

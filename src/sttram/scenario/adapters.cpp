@@ -8,6 +8,7 @@
 
 #include "sttram/common/error.hpp"
 #include "sttram/engine/bank_sim.hpp"
+#include "sttram/engine/controller/controller.hpp"
 #include "sttram/fault/coverage.hpp"
 #include "sttram/fault/fault_model.hpp"
 #include "sttram/fault/traffic_faults.hpp"
@@ -242,6 +243,138 @@ Json run_traffic_kind(const ScenarioInstance& inst, ParallelExecutor*) {
   return metrics;
 }
 
+// ----------------------------------------------------------- controller
+
+ParamSchema controller_schema() {
+  ParamSchema s;
+  s.field("scheme", ParamType::kEnum, "sensing scheme of every bank",
+          {"conventional", "destructive", "nondestructive"})
+      .field("channels", ParamType::kInteger, "channel count (default 4)")
+      .field("ranks", ParamType::kInteger,
+             "ranks per channel (default 2)")
+      .field("banks", ParamType::kInteger, "banks per rank (default 8)")
+      .field("rows", ParamType::kInteger, "rows per bank (default 64)")
+      .field("scheduler", ParamType::kEnum,
+             "command scheduler (default frfcfs)", {"fcfs", "frfcfs"})
+      .field("starvation_cap", ParamType::kInteger,
+             "FR-FCFS aging cap (default 8)")
+      .field("coalescing", ParamType::kBool,
+             "MSHR-style read coalescing (default true)")
+      .field("requests", ParamType::kInteger,
+             "total request count (default 100000)")
+      .field("rho", ParamType::kNumber,
+             "per-bank offered load (default 0.6)")
+      .field("row_locality", ParamType::kNumber,
+             "P(reuse the bank's last row) (default 0.6)")
+      .field("read_fraction", ParamType::kNumber,
+             "fraction of reads (default 0.7)")
+      .field("word_bits", ParamType::kInteger,
+             "bits per access (default 32)")
+      .field("faults_ber", ParamType::kNumber,
+             "per-bit read error rate (default: fault-free path)")
+      .field("ecc", ParamType::kBool,
+             "SECDED + retry recovery (default false)")
+      .field("retry", ParamType::kInteger,
+             "max read attempts with ECC (default 3)")
+      .field("seed", ParamType::kInteger,
+             "workload seed (default: forked from the campaign seed)");
+  return s;
+}
+
+Json run_controller_kind(const ScenarioInstance& inst,
+                         ParallelExecutor* executor) {
+  namespace ctrl = engine::controller;
+  ctrl::ControllerConfig cfg;
+  const std::string scheme =
+      param_string(inst.params, "scheme", "nondestructive");
+  require(engine::parse_scheme(scheme, cfg.scheme),
+          "scenario '" + inst.name + "': unknown scheme '" + scheme + "'");
+  cfg.channels =
+      static_cast<std::size_t>(param_int(inst.params, "channels", 4));
+  cfg.ranks = static_cast<std::size_t>(param_int(inst.params, "ranks", 2));
+  cfg.banks = static_cast<std::size_t>(param_int(inst.params, "banks", 8));
+  cfg.rows = static_cast<std::size_t>(param_int(inst.params, "rows", 64));
+  const std::string scheduler =
+      param_string(inst.params, "scheduler", "frfcfs");
+  require(ctrl::parse_scheduler(scheduler, cfg.scheduler),
+          "scenario '" + inst.name + "': unknown scheduler '" + scheduler +
+              "'");
+  cfg.starvation_cap = static_cast<std::size_t>(
+      param_int(inst.params, "starvation_cap", 8));
+  cfg.coalescing = param_bool(inst.params, "coalescing", true);
+  cfg.requests =
+      static_cast<std::size_t>(param_int(inst.params, "requests", 100000));
+  cfg.utilization = param_number(inst.params, "rho", cfg.utilization);
+  cfg.row_locality =
+      param_number(inst.params, "row_locality", cfg.row_locality);
+  cfg.read_fraction =
+      param_number(inst.params, "read_fraction", cfg.read_fraction);
+  cfg.word_bits =
+      static_cast<std::size_t>(param_int(inst.params, "word_bits", 32));
+  cfg.seed = inst.seed;
+
+  const double ber = param_number(inst.params, "faults_ber", -1.0);
+  std::unique_ptr<fault::TrafficFaultModel> faults;
+  if (ber >= 0.0) {
+    fault::TrafficFaultConfig fc;
+    fc.raw_ber = ber;
+    fc.ecc = param_bool(inst.params, "ecc", false);
+    fc.max_attempts = static_cast<std::uint32_t>(
+        param_int(inst.params, "retry", 3));
+    require(fc.max_attempts >= 1,
+            "scenario '" + inst.name + "': retry must be >= 1");
+    const engine::BankTiming timing =
+        engine::scheme_bank_timing(cfg.scheme, cfg.cost);
+    fc.retry_latency = timing.read_service;
+    fc.retry_energy = timing.read_energy;
+    fc.seed = cfg.seed ^ 0x5717fa7ee1dULL;  // matches `sttram_cli traffic`
+    faults = std::make_unique<fault::TrafficFaultModel>(fc);
+    cfg.faults = faults.get();
+  }
+
+  const ctrl::ControllerReport r =
+      ctrl::run_controller_traffic(cfg, executor);
+  const auto ns = [](Second s) { return s.value() * 1e9; };
+  Json metrics = Json::object();
+  metrics.set("mean_latency_ns", Json::number(ns(r.mean_latency)));
+  metrics.set("p50_latency_ns", Json::number(ns(r.p50_latency)));
+  metrics.set("p90_latency_ns", Json::number(ns(r.p90_latency)));
+  metrics.set("p99_latency_ns", Json::number(ns(r.p99_latency)));
+  metrics.set("p999_latency_ns", Json::number(ns(r.p999_latency)));
+  metrics.set("max_latency_ns", Json::number(ns(r.max_latency)));
+  metrics.set("mean_queue_wait_ns", Json::number(ns(r.mean_queue_wait)));
+  metrics.set("makespan_us", Json::number(r.makespan.value() * 1e6));
+  metrics.set("row_hit_rate", Json::number(r.row_hit_rate));
+  metrics.set("row_conflicts",
+              Json::integer(static_cast<std::int64_t>(r.row_conflicts)));
+  metrics.set("coalesced_reads",
+              Json::integer(static_cast<std::int64_t>(r.coalesced_reads)));
+  metrics.set("starvation_promotions",
+              Json::integer(static_cast<std::int64_t>(
+                  r.starvation_promotions)));
+  metrics.set("peak_queue_depth",
+              Json::integer(static_cast<std::int64_t>(r.peak_queue_depth)));
+  metrics.set("bandwidth_mbps", Json::number(r.total_bandwidth_mbps));
+  metrics.set("energy_per_bit_pj", Json::number(r.energy_per_bit_pj));
+  if (r.faults_enabled) {
+    metrics.set("faults.raw_bit_errors",
+                Json::integer(static_cast<std::int64_t>(
+                    r.faults.raw_bit_errors)));
+    metrics.set("faults.retries",
+                Json::integer(static_cast<std::int64_t>(r.faults.retries)));
+    metrics.set("faults.corrected_words",
+                Json::integer(static_cast<std::int64_t>(
+                    r.faults.corrected_words)));
+    metrics.set("faults.uncorrectable_words",
+                Json::integer(static_cast<std::int64_t>(
+                    r.faults.uncorrectable_words)));
+    metrics.set("faults.silent_corruptions",
+                Json::integer(static_cast<std::int64_t>(
+                    r.faults.silent_corruptions)));
+  }
+  return metrics;
+}
+
 // -------------------------------------------------------- fault_overlay
 
 ParamSchema fault_overlay_schema() {
@@ -447,6 +580,10 @@ void register_builtin_kinds() {
                    "discrete-event multi-bank traffic simulation "
                    "(optional fault/ECC overlay)",
                    traffic_schema(), run_traffic_kind});
+  r.register_kind({"controller",
+                   "chip-scale controller traffic: channels x ranks x "
+                   "banks, FR-FCFS command scheduling",
+                   controller_schema(), run_controller_kind});
   r.register_kind({"fault_overlay",
                    "yield experiment + fault map -> raw vs post-ECC BER "
                    "per scheme",

@@ -64,8 +64,9 @@ class Registry {
   std::vector<ExperimentKind> kinds_;
 };
 
-/// Registers the built-in kinds (yield, tail, traffic, fault_overlay,
-/// margin_sweep, march) into Registry::instance().  Idempotent.
+/// Registers the built-in kinds (yield, tail, traffic, controller,
+/// fault_overlay, margin_sweep, march) into Registry::instance().
+/// Idempotent.
 void register_builtin_kinds();
 
 /// Validates `inst.params` against its kind's schema; throws

@@ -51,6 +51,16 @@ for flag in $flags; do
   fi
 done
 
+# Controller-mode flags are load-bearing for the chip-scale traffic
+# path: assert them by name so a parser refactor that silently drops
+# one fails here even if the source-scrape above changes shape.
+for flag in --controller --channels --ranks --banks --scheduler; do
+  if ! grep -q -- "$flag" "$workdir/h.txt"; then
+    echo "FAIL: controller flag '$flag' missing from --help" >&2
+    status=1
+  fi
+done
+
 # Usage errors must exit 2 (not 0, not a crash).
 expect_exit2() {
   rc=0

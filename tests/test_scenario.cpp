@@ -143,8 +143,8 @@ TEST(Campaign, PinnedSeedWinsOverFork) {
 TEST(Registry, BuiltinKindsRegisterAndValidate) {
   register_builtin_kinds();
   register_builtin_kinds();  // idempotent
-  for (const char* name : {"yield", "tail", "traffic", "fault_overlay",
-                           "margin_sweep", "march"}) {
+  for (const char* name : {"yield", "tail", "traffic", "controller",
+                           "fault_overlay", "margin_sweep", "march"}) {
     EXPECT_NE(Registry::instance().find(name), nullptr) << name;
   }
   ScenarioInstance bad;
@@ -158,6 +158,31 @@ TEST(Registry, BuiltinKindsRegisterAndValidate) {
   typo.params = Json::object();
   typo.params.set("rowz", Json::integer(8));
   EXPECT_THROW(validate_instance(typo), Error);
+}
+
+TEST(Registry, ControllerKindRunsAndReportsFlatMetrics) {
+  register_builtin_kinds();
+  ScenarioInstance inst;
+  inst.name = "ctl";
+  inst.kind = "controller";
+  inst.seed = 11;
+  inst.params = Json::object();
+  inst.params.set("channels", Json::integer(2));
+  inst.params.set("ranks", Json::integer(1));
+  inst.params.set("banks", Json::integer(4));
+  inst.params.set("requests", Json::integer(20000));
+  validate_instance(inst);
+  const ExperimentKind* kind = Registry::instance().find("controller");
+  ASSERT_NE(kind, nullptr);
+  const Json serial = kind->run(inst, nullptr);
+  for (const char* metric :
+       {"mean_latency_ns", "p99_latency_ns", "row_hit_rate",
+        "bandwidth_mbps", "energy_per_bit_pj", "coalesced_reads",
+        "starvation_promotions"}) {
+    EXPECT_TRUE(serial.contains(metric)) << metric;
+  }
+  engine::ThreadPool pool(4);
+  EXPECT_EQ(serial.dump(2), kind->run(inst, &pool).dump(2));
 }
 
 TEST(Campaign, RunRejectsInvalidParamsBeforeRunning) {

@@ -57,6 +57,17 @@ for cmd in $commands; do
   fi
 done
 
+# --- 3. controller-mode traffic flags are documented ------------------
+# `traffic --controller` switches the CLI onto the chip-scale
+# channels x ranks x banks path; its topology flags must be
+# discoverable from README's CLI reference, not just --help.
+for flag in --controller --channels --ranks --banks; do
+  if ! grep -q -- "\`$flag" "$readme" && ! grep -q -- "$flag " "$readme"; then
+    echo "FAIL: controller flag '$flag' missing from README" >&2
+    status=1
+  fi
+done
+
 ndirs="$(ls -d "$root"/src/sttram/*/ | wc -l)"
 ncmds="$(echo "$commands" | wc -l)"
 [ "$status" -eq 0 ] && \
