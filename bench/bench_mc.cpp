@@ -1,0 +1,307 @@
+// Batched SoA Monte-Carlo kernel throughput on the Fig. 11 yield
+// reproduction (16-kb array, four sensing schemes per cell).
+//
+// The headline metric is the margin-solve kernel itself: trials/sec of
+// the batched SoA solve vs the scalar per-cell path (which rebuilds
+// heap-allocated scheme objects per cell), measured in-process on the
+// same pre-sampled 16-kb population so the ratio is machine-independent.
+// End-to-end yield and tail throughput ride along, plus the batched
+// Simmons Newton and the operating-point cache hit rate.
+//
+// `--no-batch` makes the scalar path the snapshot's subject (same metric
+// names), so a committed scalar baseline pairs directly with a batched
+// candidate in tools/bench_compare.
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "snapshot.hpp"
+#include "sttram/cell/array.hpp"
+#include "sttram/device/op_cache.hpp"
+#include "sttram/device/ri_curve.hpp"
+#include "sttram/sense/margins_batch.hpp"
+#include "sttram/sim/tail.hpp"
+#include "sttram/sim/yield.hpp"
+#include "sttram/stats/batch.hpp"
+#include "sttram/stats/distributions.hpp"
+
+using namespace sttram;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Best-of-N wall time of `body()`.
+template <typename Body>
+double best_of(int reps, Body&& body) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    body();
+    best = std::min(best, seconds_since(t0));
+  }
+  return best;
+}
+
+bool margins_equal(const std::array<SenseMargins, 4>& a,
+                   const std::array<SenseMargins, 4>& b) {
+  for (std::size_t s = 0; s < 4; ++s) {
+    if (a[s].sm0.value() != b[s].sm0.value()) return false;
+    if (a[s].sm1.value() != b[s].sm1.value()) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  argc = bench::apply_bench_dir_flag(argc, argv);
+  bool batch = true;
+  for (int k = 1; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--no-batch") == 0) batch = false;
+  }
+  obs::BenchSnapshot snap = bench::make_snapshot("mc");
+  bench::heading("MC kernels",
+                 batch ? "batched SoA margin kernels (16-kb Fig. 11)"
+                       : "scalar margin path (16-kb Fig. 11, --no-batch)");
+  const auto wall0 = std::chrono::steady_clock::now();
+
+  // --- the Fig. 11 population (exactly what sim/yield samples) --------
+  YieldConfig cfg;  // 128 x 128 = 16 kb
+  const std::size_t cells = cfg.geometry.cell_count();
+  const MtjParams nominal = MtjParams::paper_calibrated();
+  const MtjVariationModel variation(nominal, cfg.variation);
+  const MemoryArray array(cfg.geometry, variation, cfg.sigma_access,
+                          cfg.seed);
+
+  const double beta_d =
+      cached_destructive_beta(nominal, Ohm(917.0), cfg.selfref);
+  const double beta_n =
+      cached_nondestructive_beta(nominal, Ohm(917.0), cfg.selfref);
+  const Volt shared_v_ref =
+      cached_shared_v_ref(nominal, Ohm(917.0), cfg.selfref.i_max);
+
+  const Xoshiro256 column_master(cfg.seed ^ 0x5741524d5454536bULL);
+  YieldKernelInputs inputs;
+  inputs.selfref = cfg.selfref;
+  inputs.i_droop_ref = nominal.i_droop_ref.value();
+  inputs.beta_destructive = beta_d;
+  inputs.beta_nondestructive = beta_n;
+  inputs.shared_v_ref = shared_v_ref;
+  inputs.col_vref_err.resize(cfg.geometry.cols);
+  inputs.col_beta_dev.resize(cfg.geometry.cols);
+  inputs.col_alpha_dev.resize(cfg.geometry.cols);
+  inputs.col_ref_p.resize(cfg.geometry.cols);
+  inputs.col_ref_ap.resize(cfg.geometry.cols);
+  for (std::size_t c = 0; c < cfg.geometry.cols; ++c) {
+    Xoshiro256 stream = column_master.fork(c);
+    inputs.col_beta_dev[c] = sample_normal(stream, 0.0, cfg.sigma_beta);
+    inputs.col_alpha_dev[c] = sample_normal(stream, 0.0, cfg.sigma_alpha);
+    inputs.col_vref_err[c] =
+        sample_normal(stream, 0.0, cfg.sigma_vref.value());
+    inputs.col_ref_p[c] = variation.sample(stream);
+    inputs.col_ref_ap[c] = variation.sample(stream);
+  }
+  const YieldBatchKernel kernel = YieldBatchKernel::build(inputs);
+
+  // Scalar oracle: the per-cell solve sim/yield ran before batching
+  // (fresh scheme objects per cell).
+  const auto scalar_cell = [&](std::size_t idx,
+                               std::array<SenseMargins, 4>& m) {
+    const std::size_t col = idx % cfg.geometry.cols;
+    const ArrayCell& cell = array.cell(idx / cfg.geometry.cols, col);
+    const LinearRiModel model(cell.params);
+    const FixedAccessResistor access(cell.r_access);
+    const ConventionalSensing conv(model, access, cfg.selfref.i_max);
+    m[0] = conv.margins(shared_v_ref + Volt(inputs.col_vref_err[col]));
+    const LinearRiModel ref_p(inputs.col_ref_p[col]);
+    const LinearRiModel ref_ap(inputs.col_ref_ap[col]);
+    const ReferenceCellSensing ref_cell(model, access, ref_p, ref_ap,
+                                        cfg.selfref.i_max);
+    m[1] = ref_cell.margins();
+    SchemeMismatch mm;
+    mm.beta_deviation = inputs.col_beta_dev[col];
+    m[2] = DestructiveSelfReference(model, access, cfg.selfref)
+               .margins(beta_d, mm);
+    mm.alpha_deviation = inputs.col_alpha_dev[col];
+    m[3] = NondestructiveSelfReference(model, access, cfg.selfref)
+               .margins(beta_n, mm);
+  };
+
+  // Pre-sampled SoA blocks: the kernel timing below measures the solve,
+  // not the sampling (sampling throughput is part of the end-to-end
+  // yield number).
+  const Xoshiro256 cell_master(cfg.seed);
+  const std::size_t n_blocks = (cells + kMcBlockSize - 1) / kMcBlockSize;
+  std::vector<VariationBlock> blocks(n_blocks);
+  for (std::size_t b = 0; b < n_blocks; ++b) {
+    const std::size_t first = b * kMcBlockSize;
+    sample_variation_block(cell_master, variation, 917.0, cfg.sigma_access,
+                           first, std::min(cells - first, kMcBlockSize),
+                           blocks[b]);
+  }
+
+  // Correctness gate before any timing: batched == scalar per cell.
+  std::vector<std::array<SenseMargins, 4>> scalar_m(cells);
+  std::vector<std::array<SenseMargins, 4>> batched_m(cells);
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    scalar_cell(idx, scalar_m[idx]);
+  }
+  {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      kernel.solve(blocks[b], b * kMcBlockSize,
+                   batched_m.data() + b * kMcBlockSize, &lo, &hi);
+    }
+  }
+  bool identical = true;
+  for (std::size_t idx = 0; idx < cells; ++idx) {
+    if (!margins_equal(scalar_m[idx], batched_m[idx])) identical = false;
+  }
+
+  // --- margin-solve kernel timing ------------------------------------
+  volatile double sink = 0.0;  // keep the solves observable
+  const double scalar_s = best_of(5, [&] {
+    std::array<SenseMargins, 4> m;
+    double acc = 0.0;
+    for (std::size_t idx = 0; idx < cells; ++idx) {
+      scalar_cell(idx, m);
+      acc += m[3].sm0.value();
+    }
+    sink = acc;
+  });
+  const double batched_s = best_of(20, [&] {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    for (std::size_t b = 0; b < n_blocks; ++b) {
+      kernel.solve(blocks[b], b * kMcBlockSize,
+                   batched_m.data() + b * kMcBlockSize, &lo, &hi);
+    }
+    sink = lo + hi;
+  });
+  (void)sink;
+  const double scalar_rate = static_cast<double>(cells) / scalar_s;
+  const double batched_rate = static_cast<double>(cells) / batched_s;
+  const double speedup = scalar_s / batched_s;
+  const double subject_rate = batch ? batched_rate : scalar_rate;
+  std::printf("margin solve (4 schemes/cell, %zu cells):\n", cells);
+  std::printf("  scalar   %8.1f ns/cell  (%.3g trials/sec)\n",
+              1e9 * scalar_s / static_cast<double>(cells), scalar_rate);
+  std::printf("  batched  %8.1f ns/cell  (%.3g trials/sec)\n",
+              1e9 * batched_s / static_cast<double>(cells), batched_rate);
+  std::printf("  speedup  %8.1fx\n\n", speedup);
+
+  // --- end-to-end yield + tail ---------------------------------------
+  YieldConfig e2e = cfg;
+  e2e.max_scatter_points = 1;
+  e2e.use_batch = batch;
+  const auto y0 = std::chrono::steady_clock::now();
+  const YieldResult yr = run_yield_experiment(e2e, nullptr);
+  const double yield_s = seconds_since(y0);
+  YieldConfig other = e2e;
+  other.use_batch = !batch;
+  const YieldResult yr_other = run_yield_experiment(other, nullptr);
+  const bool e2e_identical =
+      yr.nondestructive.failures == yr_other.nondestructive.failures &&
+      yr.conventional.failures == yr_other.conventional.failures &&
+      yr.nondestructive.sm0_stats.mean() ==
+          yr_other.nondestructive.sm0_stats.mean() &&
+      yr.shared_reference_window.value() ==
+          yr_other.shared_reference_window.value();
+  std::printf("end-to-end yield (%s): %.3f s (%.3g cells/sec)\n",
+              batch ? "batched" : "scalar", yield_s,
+              static_cast<double>(cells) / yield_s);
+
+  TailConfig tail;
+  tail.use_batch = batch;
+  const std::size_t tail_trials = 20000;
+  const auto t0 = std::chrono::steady_clock::now();
+  const TailEstimate te = estimate_margin_tail(tail, 1, tail_trials);
+  const double tail_s = seconds_since(t0);
+  std::printf("tail sampling (%s): %zu trials in %.3f s (%.3g trials/sec), "
+              "P(fail)/bit = %.3e\n\n",
+              batch ? "batched" : "scalar", tail_trials, tail_s,
+              static_cast<double>(tail_trials) / tail_s,
+              te.estimate.probability);
+
+  // --- batched Simmons Newton ----------------------------------------
+  const SimmonsRiModel simmons = SimmonsRiModel::calibrated_to(nominal);
+  std::vector<double> currents(4096);
+  for (std::size_t k = 0; k < currents.size(); ++k) {
+    currents[k] = 1e-7 + 1.5e-8 * static_cast<double>(k);
+  }
+  std::vector<double> v_out(currents.size());
+  const double simmons_s = best_of(5, [&] {
+    if (batch) {
+      simmons.bias_voltage_batch(MtjState::kAntiParallel, currents.data(),
+                                 currents.size(), v_out.data());
+    } else {
+      for (std::size_t k = 0; k < currents.size(); ++k) {
+        v_out[k] = simmons
+                       .bias_voltage(MtjState::kAntiParallel,
+                                     Ampere(currents[k]))
+                       .value();
+      }
+    }
+  });
+  const double simmons_rate =
+      static_cast<double>(currents.size()) / simmons_s;
+  std::printf("Simmons Newton (%s): %.3g solves/sec\n\n",
+              batch ? "batched" : "scalar", simmons_rate);
+
+  // --- claims ---------------------------------------------------------
+  std::printf("Claims:\n");
+  bench::claim("batched margins bit-identical to the scalar oracle "
+               "(all 4 schemes x 16 kb)",
+               identical);
+  bench::claim("end-to-end yield identical with batching on vs off",
+               e2e_identical);
+  if (batch) {
+    bench::claim("margin-solve kernel >= 10x the scalar path", speedup >= 10.0);
+  }
+
+  // --- perf snapshot ---------------------------------------------------
+  const auto& registry = obs::Registry::instance();
+  std::uint64_t op_hits = 0, op_misses = 0;
+  for (const auto& c : registry.counters()) {
+    if (c.name == "mc.opcache.hits") op_hits = c.value;
+    if (c.name == "mc.opcache.misses") op_misses = c.value;
+  }
+  const double hit_rate =
+      op_hits + op_misses > 0
+          ? static_cast<double>(op_hits) /
+                static_cast<double>(op_hits + op_misses)
+          : 0.0;
+  std::printf("\nop-cache: %llu hits / %llu misses (hit rate %.1f %%)\n",
+              static_cast<unsigned long long>(op_hits),
+              static_cast<unsigned long long>(op_misses), 100.0 * hit_rate);
+
+  snap.add_metric("wall_seconds", seconds_since(wall0), "s",
+                  /*higher_is_better=*/false);
+  snap.add_metric("margin_trials_per_second", subject_rate, "trial/s",
+                  /*higher_is_better=*/true);
+  snap.add_metric("margin_kernel_speedup_vs_scalar",
+                  batch ? speedup : 1.0, "x",
+                  /*higher_is_better=*/true);
+  snap.add_metric("yield_cells_per_second",
+                  static_cast<double>(cells) / yield_s, "cell/s",
+                  /*higher_is_better=*/true);
+  snap.add_metric("tail_trials_per_second",
+                  static_cast<double>(tail_trials) / tail_s, "trial/s",
+                  /*higher_is_better=*/true);
+  snap.add_metric("simmons_newton_solves_per_second", simmons_rate,
+                  "solve/s", /*higher_is_better=*/true);
+  snap.add_metric("opcache_hit_rate", hit_rate, "ratio",
+                  /*higher_is_better=*/true);
+  bench::write_snapshot(snap);
+  return identical && e2e_identical ? 0 : 1;
+}

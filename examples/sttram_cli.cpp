@@ -76,8 +76,18 @@ void print_help() {
       "each word\n"
       "                             --retry <n>        read attempts "
       "(default 1)\n"
+      "                             --no-batch         per-cell scalar "
+      "solve instead\n"
+      "                                                of the batched SoA "
+      "kernel\n"
+      "                                                (bit-identical, "
+      "slower)\n"
       "  tail [margin_mv]         importance-sampled failure-tail "
       "estimate\n"
+      "                             --no-batch         scalar per-trial "
+      "sampling\n"
+      "                                                (bit-identical, "
+      "slower)\n"
       "  read [0|1]               execute one read + Fig. 9 timing "
       "diagram\n"
       "  transient [0|1]          circuit-level (MNA) read summary\n"
@@ -275,7 +285,7 @@ int cmd_robustness(int argc, char** argv) {
 
 int cmd_yield(int argc, char** argv) {
   static const char* const kFlags[] = {"--json", "--faults", "--ecc",
-                                       "--retry", nullptr};
+                                       "--retry", "--no-batch", nullptr};
   if (!reject_unknown_flags(argc, argv, kFlags)) return 2;
   YieldConfig cfg;
   bool as_json = false;
@@ -298,6 +308,8 @@ int cmd_yield(int argc, char** argv) {
       ecc = true;
     } else if (std::strcmp(argv[k], "--json") == 0) {
       as_json = true;
+    } else if (std::strcmp(argv[k], "--no-batch") == 0) {
+      cfg.use_batch = false;
     } else if (positional == 0) {
       rows = static_cast<std::size_t>(std::atoi(argv[k]));
       ++positional;
@@ -407,9 +419,16 @@ int cmd_yield(int argc, char** argv) {
 }
 
 int cmd_tail(int argc, char** argv) {
-  if (!reject_unknown_flags(argc, argv)) return 2;
+  static const char* const kFlags[] = {"--no-batch", nullptr};
+  if (!reject_unknown_flags(argc, argv, kFlags)) return 2;
   TailConfig cfg;
-  if (argc > 2) cfg.threshold = Volt(std::atof(argv[2]) * 1e-3);
+  for (int k = 2; k < argc; ++k) {
+    if (std::strcmp(argv[k], "--no-batch") == 0) {
+      cfg.use_batch = false;
+    } else {
+      cfg.threshold = Volt(std::atof(argv[k]) * 1e-3);
+    }
+  }
   const TailEstimate e = estimate_margin_tail(cfg, 1, 20000, g_executor);
   if (e.design_point.empty()) {
     std::printf("no failure region within 12 sigma\n");
@@ -1195,6 +1214,21 @@ int cmd_stats(int argc, char** argv) {
                empty ? "" : format_double(s.max, 4)});
   }
   std::printf("\n%s", h.to_string().c_str());
+
+  // Operating-point cache effectiveness across the workloads above.
+  std::uint64_t op_hits = 0;
+  std::uint64_t op_misses = 0;
+  for (const auto& c : registry.counters()) {
+    if (c.name == "mc.opcache.hits") op_hits = c.value;
+    if (c.name == "mc.opcache.misses") op_misses = c.value;
+  }
+  if (op_hits + op_misses > 0) {
+    std::printf("\nop-cache: %llu hits / %llu misses (hit rate %.1f%%)\n",
+                static_cast<unsigned long long>(op_hits),
+                static_cast<unsigned long long>(op_misses),
+                100.0 * static_cast<double>(op_hits) /
+                    static_cast<double>(op_hits + op_misses));
+  }
 
   // Flat phase profile (self time descending, as the Profiler sorts).
   TextTable p({"phase", "calls", "total [s]", "self [s]"});

@@ -1,6 +1,7 @@
 #include "sttram/device/ri_curve.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cmath>
 
 #include "sttram/common/error.hpp"
@@ -43,6 +44,21 @@ Ohm LinearRiModel::resistance(MtjState state, Ampere i) const {
 
 std::unique_ptr<RiModel> LinearRiModel::clone() const {
   return std::make_unique<LinearRiModel>(*this);
+}
+
+void LinearRiModel::resistance_batch(MtjState state, const double* i_amps,
+                                     std::size_t n, double* r_out) const {
+  const double r0 = (state == MtjState::kParallel ? params_.r_low0
+                                                  : params_.r_high0)
+                        .value();
+  const double droop = (state == MtjState::kParallel ? params_.droop_low
+                                                     : params_.droop_high)
+                           .value();
+  const double i_ref = params_.i_droop_ref.value();
+  for (std::size_t k = 0; k < n; ++k) {
+    const double frac = std::min(std::fabs(i_amps[k]) / i_ref, 1.5);
+    r_out[k] = r0 - droop * frac;
+  }
 }
 
 // --------------------------------------------------------------- Simmons
@@ -92,6 +108,68 @@ Ohm SimmonsRiModel::resistance(MtjState state, Ampere i) const {
 
 std::unique_ptr<RiModel> SimmonsRiModel::clone() const {
   return std::make_unique<SimmonsRiModel>(*this);
+}
+
+void SimmonsRiModel::bias_voltage_batch(MtjState state, const double* i_amps,
+                                        std::size_t n, double* v_out) const {
+  const double r0 = (state == MtjState::kParallel ? params_.r_low0
+                                                  : params_.r_high0)
+                        .value();
+  const double vh = (state == MtjState::kParallel ? params_.v_half_low
+                                                  : params_.v_half_high)
+                        .value();
+  const double g0 = 1.0 / r0;
+  constexpr std::size_t kLanes = 64;
+  std::array<double, kLanes> v;
+  std::array<double, kLanes> cur;
+  std::array<bool, kLanes> active;
+  for (std::size_t base = 0; base < n; base += kLanes) {
+    const std::size_t count = std::min(n - base, kLanes);
+    std::size_t remaining = 0;
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      cur[lane] = std::fabs(i_amps[base + lane]);
+      if (cur[lane] == 0.0) {
+        v[lane] = 0.0;
+        active[lane] = false;
+      } else {
+        v[lane] = cur[lane] * r0;
+        active[lane] = true;
+        ++remaining;
+      }
+    }
+    // One Newton iteration per pass over every unconverged lane; a lane
+    // retires on its own |step| test, exactly as the scalar loop breaks.
+    for (int iter = 0; iter < 60 && remaining > 0; ++iter) {
+      for (std::size_t lane = 0; lane < count; ++lane) {
+        if (!active[lane]) continue;
+        const double u = v[lane] / vh;
+        const double f = g0 * v[lane] * (1.0 + u * u) - cur[lane];
+        const double df = g0 * (1.0 + 3.0 * u * u);
+        const double step = f / df;
+        v[lane] -= step;
+        if (v[lane] <= 0.0) v[lane] = 1e-15;
+        if (std::fabs(step) < 1e-15 * (1.0 + std::fabs(v[lane]))) {
+          active[lane] = false;
+          --remaining;
+        }
+      }
+    }
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      v_out[base + lane] = v[lane];
+    }
+  }
+}
+
+void SimmonsRiModel::resistance_batch(MtjState state, const double* i_amps,
+                                      std::size_t n, double* r_out) const {
+  const double r0 = (state == MtjState::kParallel ? params_.r_low0
+                                                  : params_.r_high0)
+                        .value();
+  bias_voltage_batch(state, i_amps, n, r_out);
+  for (std::size_t k = 0; k < n; ++k) {
+    const double current = std::fabs(i_amps[k]);
+    r_out[k] = current == 0.0 ? r0 : r_out[k] / current;
+  }
 }
 
 SimmonsRiModel SimmonsRiModel::calibrated_to(const MtjParams& calib) {

@@ -5,6 +5,7 @@
 // a physical Simmons-type tunneling law, or a measured table.
 #pragma once
 
+#include <cstddef>
 #include <memory>
 
 #include "sttram/common/numeric.hpp"
@@ -47,6 +48,12 @@ class LinearRiModel final : public RiModel {
   [[nodiscard]] Ohm resistance(MtjState state, Ampere i) const override;
   [[nodiscard]] std::unique_ptr<RiModel> clone() const override;
 
+  /// Batched closed form: resistance of `state` at each of the `n` read
+  /// currents `i_amps` [A] into `r_out` [Ohm].  Straight-line arithmetic
+  /// over contiguous lanes, bit-identical to resistance() per lane.
+  void resistance_batch(MtjState state, const double* i_amps, std::size_t n,
+                        double* r_out) const;
+
   [[nodiscard]] const MtjParams& params() const { return params_; }
 
  private:
@@ -82,6 +89,18 @@ class SimmonsRiModel final : public RiModel {
 
   /// Bias voltage across the junction in `state` at forced current `i`.
   [[nodiscard]] Volt bias_voltage(MtjState state, Ampere i) const;
+
+  /// Batched Newton: solves all `n` lanes of `i_amps` [A] together, one
+  /// iteration across the still-unconverged lanes per pass with
+  /// per-lane convergence masks.  Each lane runs exactly the scalar
+  /// bias_voltage() iteration sequence (same start, same step, same
+  /// stopping test), so results are bit-identical per lane.
+  void bias_voltage_batch(MtjState state, const double* i_amps,
+                          std::size_t n, double* v_out) const;
+
+  /// Batched resistance(): bias_voltage_batch + the zero-current limit.
+  void resistance_batch(MtjState state, const double* i_amps, std::size_t n,
+                        double* r_out) const;
 
  private:
   Params params_;

@@ -60,7 +60,8 @@ Registry::Registry() {
   // Pre-register the well-known solver / Monte-Carlo metrics so every
   // export carries the full schema even when a workload never hits them.
   for (const char* name :
-       {"mc.trials", "is.trials", "is.hits", "read.phases",
+       {"mc.trials", "mc.opcache.hits", "mc.opcache.misses", "is.trials",
+        "is.hits", "read.phases",
         "spice.dc.solves", "spice.dc.gmin_ramps", "spice.dc.gmin_decades",
         "spice.newton.solves", "spice.newton.iterations",
         "spice.newton.factorizations", "spice.newton.nonconverged",
@@ -74,8 +75,9 @@ Registry::Registry() {
         "fault.ecc_uncorrectable", "fault.silent_corruptions"}) {
     counters_.emplace(name, std::make_unique<Counter>());
   }
-  for (const char* name : {"mc.trials_per_second", "yield.cells_per_second",
-                           "engine.queue_depth", "engine.bank_utilization",
+  for (const char* name : {"mc.trials_per_second", "mc.batch_size",
+                           "yield.cells_per_second", "engine.queue_depth",
+                           "engine.bank_utilization",
                            "fault.march_coverage"}) {
     gauges_.emplace(name, std::make_unique<Gauge>());
   }
@@ -87,7 +89,7 @@ Registry::Registry() {
   // moved here from the timers when per-trial solve times became
   // histograms (the scalar mean hid the tail; see DESIGN.md §11).
   for (const char* name :
-       {"mc.trial_seconds", "engine.latency_seconds",
+       {"mc.trial_seconds", "mc.block_seconds", "engine.latency_seconds",
         "engine.read_latency_seconds", "engine.write_latency_seconds"}) {
     histograms_.emplace(name, std::make_unique<HistogramMetric>());
   }

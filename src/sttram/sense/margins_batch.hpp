@@ -1,0 +1,126 @@
+// Batched (SoA) evaluators of the sense-margin closed forms, plus the
+// memoized per-scheme operating points they start from.
+//
+// The scalar classes in margins.hpp build heap-allocated model objects
+// per evaluation; these kernels precompute everything that is constant
+// per experiment (or per column) once and then run straight-line
+// arithmetic over a VariationBlock — contiguous doubles the compiler can
+// vectorize across lanes.
+//
+// Bit-identity: every per-lane expression below is the scalar class's
+// expression with per-experiment subterms folded into precomputed
+// constants.  No algebraic rewrites are applied: additions keep their
+// association, libm calls hit the same functions on the same inputs, and
+// `x + Ohm(0.0)` no-ops (the scalar path's unused delta_r_t / extra_r
+// hooks) are dropped, which is exact in IEEE-754 for every x except
+// -0.0 (whose value is unchanged).  test_mc_batch.cpp holds the
+// differential proof across schemes, corners, and thread counts.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <vector>
+
+#include "sttram/common/units.hpp"
+#include "sttram/device/mtj_params.hpp"
+#include "sttram/sense/margins.hpp"
+#include "sttram/stats/batch.hpp"
+
+namespace sttram {
+
+// Memoized operating points (device/op_cache.hpp, thread-shard-local).
+// Each returns exactly the value the corresponding scalar construction
+// computes — DestructiveSelfReference::paper_beta(),
+// NondestructiveSelfReference::paper_beta(), and
+// ConventionalSensing::midpoint_reference() on (nominal, r_access) — and
+// memoizes it keyed on every double the solve consumes.
+
+double cached_destructive_beta(const MtjParams& nominal, Ohm r_access,
+                               const SelfRefConfig& config);
+double cached_nondestructive_beta(const MtjParams& nominal, Ohm r_access,
+                                  const SelfRefConfig& config);
+Volt cached_shared_v_ref(const MtjParams& nominal, Ohm r_access,
+                         Ampere i_read);
+
+/// Everything the yield kernel needs: the experiment's operating points
+/// plus the per-column mismatch samples (sim/yield draws these; the
+/// kernel derives its per-column tables from them).
+struct YieldKernelInputs {
+  SelfRefConfig selfref;
+  double i_droop_ref = 0.0;  ///< nominal I_ref (invariant under scaling)
+  double beta_destructive = 0.0;
+  double beta_nondestructive = 0.0;
+  Volt shared_v_ref{0.0};
+  std::vector<double> col_vref_err;   ///< shared-V_REF error per column [V]
+  std::vector<double> col_beta_dev;   ///< current-ratio residual per column
+  std::vector<double> col_alpha_dev;  ///< divider residual per column
+  std::vector<MtjParams> col_ref_p;   ///< per-column reference-cell pair
+  std::vector<MtjParams> col_ref_ap;
+};
+
+/// Four-scheme margin solve over a block of sampled cells.  One lane =
+/// one cell; the column index advances with the (row-major) cell index.
+class YieldBatchKernel {
+ public:
+  static YieldBatchKernel build(const YieldKernelInputs& in);
+
+  /// Solves lanes [0, block.size) for cells starting at row-major index
+  /// `first_cell`.  Writes margins for the four schemes (conventional,
+  /// reference-cell, destructive, nondestructive — the record order of
+  /// sim/yield) to `out[lane]`, and folds each lane's second-read
+  /// bit-line voltages into the running shared-reference window bounds
+  /// `*max_low` / `*min_high`.
+  void solve(const VariationBlock& block, std::size_t first_cell,
+             std::array<SenseMargins, 4>* out, double* max_low,
+             double* min_high) const;
+
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+ private:
+  double i_max_ = 0.0;
+  double frac2_ = 0.0;  ///< min(I2 / I_ref, 1.5), global constant
+  std::size_t cols_ = 0;
+  // Per-column tables (everything that depends only on the column draw).
+  std::vector<double> v_ref_conv_;  ///< shared V_REF + column error
+  std::vector<double> r_ref_p2_;    ///< reference-pair R at I2
+  std::vector<double> r_ref_ap2_;
+  std::vector<double> i1_d_;        ///< destructive I1 = I2 / beta_eff
+  std::vector<double> frac1_d_;
+  std::vector<double> i1_n_;        ///< nondestructive I1
+  std::vector<double> frac1_n_;
+  std::vector<double> alpha_eff_;   ///< alpha * (1 + alpha_deviation)
+};
+
+/// Per-experiment constants of the tail kernel (sim/tail's variation
+/// space; `beta` must already be resolved — the hoisted operating point).
+struct TailKernelConfig {
+  MtjParams nominal;
+  double sigma_common = 0.0;
+  double sigma_tmr = 0.0;
+  double sigma_access = 0.0;
+  double sigma_beta = 0.0;
+  double sigma_alpha = 0.0;
+  SelfRefConfig selfref;
+  double beta = 0.0;  ///< resolved designed ratio (> 0)
+};
+
+/// Batched nondestructive_margin_at: min(SM0, SM1) of the nondestructive
+/// scheme for every lane of a GaussianBlock of variation coordinates
+/// z = (common, tmr, access, beta driver, divider alpha).
+class TailBatchKernel {
+ public:
+  static TailBatchKernel build(const TailKernelConfig& config);
+
+  /// Writes min-margin [V] per lane to `out[0..block.size)`.
+  void margins_min(const GaussianBlock& block, double* out) const;
+
+ private:
+  TailKernelConfig cfg_;
+  double r_access_nominal_ = 917.0;
+  double i_max_ = 0.0;
+  double frac2_ = 0.0;
+  double excess0_base_ = 0.0;      ///< r_high0 - r_low0
+  double excess_droop_base_ = 0.0; ///< droop_high - droop_low
+};
+
+}  // namespace sttram

@@ -7,6 +7,7 @@
 #include "sttram/obs/metrics.hpp"
 #include "sttram/obs/profile.hpp"
 #include "sttram/obs/trace.hpp"
+#include "sttram/sense/margins_batch.hpp"
 
 namespace sttram {
 
@@ -24,8 +25,9 @@ double nondestructive_margin_at(const TailConfig& config,
   const NondestructiveSelfReference scheme(model, access, config.selfref);
   double beta = config.beta;
   if (beta <= 0.0) {
-    beta = NondestructiveSelfReference(nominal, Ohm(917.0), config.selfref)
-               .paper_beta();
+    // Designed ratio of the nominal device: invariant across calls, so
+    // the op cache answers every call after the first.
+    beta = cached_nondestructive_beta(nominal, Ohm(917.0), config.selfref);
   }
   SchemeMismatch mm;
   mm.beta_deviation = config.sigma_beta * z[3];
@@ -39,11 +41,20 @@ TailEstimate estimate_margin_tail(const TailConfig& config,
   STTRAM_OBS_COUNT("tail.searches");
   obs::TraceSpan span("estimate_margin_tail", "tail");
   STTRAM_PROFILE_SCOPE("tail.search");
+  // Hoisted operating point: the designed beta is a constant of the
+  // experiment, so resolve it once here instead of re-deriving it inside
+  // every margin evaluation (the scalar predicate used to pay a full
+  // scheme construction per trial for it).
+  TailConfig solved = config;
+  if (solved.beta <= 0.0) {
+    solved.beta = cached_nondestructive_beta(MtjParams::paper_calibrated(),
+                                             Ohm(917.0), config.selfref);
+  }
   // Atomic: the sampling-phase predicate may run on pool threads.
   std::atomic<std::size_t> margin_evals{0};
   const auto g = [&](const std::vector<double>& z) {
     margin_evals.fetch_add(1, std::memory_order_relaxed);
-    return nondestructive_margin_at(config, z) - config.threshold.value();
+    return nondestructive_margin_at(solved, z) - config.threshold.value();
   };
   TailEstimate out;
   out.design_point = design_point_on_gradient(g, kTailDimensions);
@@ -56,10 +67,39 @@ TailEstimate estimate_margin_tail(const TailConfig& config,
   double r2 = 0.0;
   for (const double v : out.design_point) r2 += v * v;
   out.design_radius = std::sqrt(r2);
-  out.estimate = importance_sample(
-      seed, trials, out.design_point,
-      [&](const std::vector<double>& z) { return g(z) < 0.0; }, executor);
-  STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals.load());
+  if (config.use_batch) {
+    TailKernelConfig kc;
+    kc.nominal = MtjParams::paper_calibrated();
+    kc.sigma_common = config.variation.sigma_common;
+    kc.sigma_tmr = config.variation.sigma_tmr;
+    kc.sigma_access = config.sigma_access;
+    kc.sigma_beta = config.sigma_beta;
+    kc.sigma_alpha = config.sigma_alpha;
+    kc.selfref = config.selfref;
+    kc.beta = solved.beta;
+    const TailBatchKernel kernel = TailBatchKernel::build(kc);
+    const double threshold = config.threshold.value();
+    out.estimate = importance_sample_blocked(
+        seed, trials, out.design_point,
+        [&](const GaussianBlock& block, std::size_t, std::uint8_t* fails) {
+          thread_local std::vector<double> margin;
+          if (margin.size() < block.size) margin.resize(block.size);
+          kernel.margins_min(block, margin.data());
+          for (std::size_t lane = 0; lane < block.size; ++lane) {
+            fails[lane] = (margin[lane] - threshold) < 0.0 ? 1 : 0;
+          }
+        },
+        executor,
+        config.block_size == 0 ? kMcBlockSize : config.block_size);
+    // Counter parity with the scalar path, whose predicate evaluates the
+    // margin once per sampling trial.
+    STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals.load() + trials);
+  } else {
+    out.estimate = importance_sample(
+        seed, trials, out.design_point,
+        [&](const std::vector<double>& z) { return g(z) < 0.0; }, executor);
+    STTRAM_OBS_ADD("tail.margin_evaluations", margin_evals.load());
+  }
   out.expected_failures_16kb = out.estimate.probability * 16384.0;
   return out;
 }

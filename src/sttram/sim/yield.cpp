@@ -1,12 +1,16 @@
 #include "sttram/sim/yield.hpp"
 
+#include <algorithm>
 #include <array>
 #include <chrono>
+#include <limits>
 
 #include "sttram/common/error.hpp"
 #include "sttram/obs/metrics.hpp"
 #include "sttram/obs/profile.hpp"
 #include "sttram/obs/trace.hpp"
+#include "sttram/sense/margins_batch.hpp"
+#include "sttram/stats/batch.hpp"
 #include "sttram/stats/distributions.hpp"
 #include "sttram/stats/rng.hpp"
 
@@ -30,18 +34,32 @@ void record(SchemeYield& y, const SenseMargins& m, Volt required,
   }
 }
 
-}  // namespace
+void record_all(YieldResult& result,
+                const std::vector<std::array<SenseMargins, 4>>& cell_margins,
+                const YieldConfig& config, std::size_t keep_every) {
+  // Serial accumulation in row-major order: RunningStats and the scatter
+  // subsampling are order-sensitive, so this pass is what keeps the
+  // result bit-identical for any thread count.
+  for (const auto& margins : cell_margins) {
+    record(result.conventional, margins[0], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+    record(result.reference_cell, margins[1], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+    record(result.destructive, margins[2], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+    record(result.nondestructive, margins[3], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+  }
+}
 
-YieldResult run_yield_experiment(const YieldConfig& config,
-                                 ParallelExecutor* executor) {
-  STTRAM_OBS_COUNT("yield.experiments");
-  obs::TraceSpan span("run_yield_experiment", "yield");
-  STTRAM_PROFILE_SCOPE("yield.experiment");
-  const bool metered = obs::metrics_enabled();
-  const auto t_begin = std::chrono::steady_clock::now();
-  const MtjParams nominal = MtjParams::paper_calibrated();
+std::size_t scatter_keep_every(const YieldConfig& config, std::size_t cells) {
+  return (config.max_scatter_points == 0 ||
+          cells <= config.max_scatter_points)
+             ? 1
+             : cells / config.max_scatter_points;
+}
 
-  YieldResult result;
+void sample_die_factor(const YieldConfig& config, YieldResult& result) {
   // Die-level common factor: every MTJ on this chip (data and reference
   // cells) shares it; within-die variation samples around it.
   if (config.die_sigma > 0.0) {
@@ -49,15 +67,29 @@ YieldResult run_yield_experiment(const YieldConfig& config,
     result.die_factor =
         sample_lognormal_median(die_stream, 1.0, config.die_sigma);
   }
+}
+
+void name_schemes(YieldResult& result) {
+  result.conventional.scheme = "conventional";
+  result.reference_cell.scheme = "reference-cell";
+  result.destructive.scheme = "destructive self-ref";
+  result.nondestructive.scheme = "nondestructive self-ref";
+}
+
+/// The original per-cell scalar path, kept verbatim as the differential
+/// oracle behind YieldConfig::use_batch = false (`--no-batch`).
+YieldResult run_yield_scalar(const YieldConfig& config,
+                             ParallelExecutor* executor) {
+  const MtjParams nominal = MtjParams::paper_calibrated();
+
+  YieldResult result;
+  sample_die_factor(config, result);
   const MtjParams die_nominal = nominal.scaled(result.die_factor, 1.0);
   const MtjVariationModel variation(die_nominal, config.variation);
   const MemoryArray array(config.geometry, variation, config.sigma_access,
                           config.seed);
 
-  result.conventional.scheme = "conventional";
-  result.reference_cell.scheme = "reference-cell";
-  result.destructive.scheme = "destructive self-ref";
-  result.nondestructive.scheme = "nondestructive self-ref";
+  name_schemes(result);
 
   // Designed betas come from the nominal device unless overridden.
   const FixedAccessResistor nominal_access(Ohm(917.0));
@@ -82,11 +114,7 @@ YieldResult run_yield_experiment(const YieldConfig& config,
       array.shared_reference_window(config.selfref.i_max);
 
   const std::size_t cells = config.geometry.cell_count();
-  const std::size_t keep_every =
-      (config.max_scatter_points == 0 ||
-       cells <= config.max_scatter_points)
-          ? 1
-          : cells / config.max_scatter_points;
+  const std::size_t keep_every = scatter_keep_every(config, cells);
 
   // Per-column peripheral mismatch streams.
   const Xoshiro256 column_master(config.seed ^ 0x5741524d5454536bULL);
@@ -157,19 +185,140 @@ YieldResult run_yield_experiment(const YieldConfig& config,
     }
   }
 
-  // Serial accumulation in row-major order: RunningStats and the scatter
-  // subsampling are order-sensitive, so this pass is what keeps the
-  // result bit-identical for any thread count.
-  for (const auto& margins : cell_margins) {
-    record(result.conventional, margins[0], config.required_margin,
-           keep_every, config.keep_per_bit_margins);
-    record(result.reference_cell, margins[1], config.required_margin,
-           keep_every, config.keep_per_bit_margins);
-    record(result.destructive, margins[2], config.required_margin,
-           keep_every, config.keep_per_bit_margins);
-    record(result.nondestructive, margins[3], config.required_margin,
-           keep_every, config.keep_per_bit_margins);
+  record_all(result, cell_margins, config, keep_every);
+  return result;
+}
+
+/// The batched SoA path (default): per-block variation sampling fused
+/// with the four-scheme closed-form kernel, operating points memoized in
+/// the op cache.  Bit-identical to run_yield_scalar (see DESIGN.md §14
+/// for the argument; test_mc_batch.cpp for the proof).
+YieldResult run_yield_batched(const YieldConfig& config,
+                              ParallelExecutor* executor) {
+  const MtjParams nominal = MtjParams::paper_calibrated();
+
+  YieldResult result;
+  sample_die_factor(config, result);
+  const MtjParams die_nominal = nominal.scaled(result.die_factor, 1.0);
+  const MtjVariationModel variation(die_nominal, config.variation);
+
+  name_schemes(result);
+
+  // Designed operating points from the thread-shard-local op cache —
+  // pure functions of the nominal device and read setup, so a hit
+  // returns exactly the value the scalar path derives inline.
+  const Ohm r_access_nominal(917.0);
+  result.beta_destructive =
+      config.beta_destructive > 0.0
+          ? config.beta_destructive
+          : cached_destructive_beta(nominal, r_access_nominal,
+                                    config.selfref);
+  result.beta_nondestructive =
+      config.beta_nondestructive > 0.0
+          ? config.beta_nondestructive
+          : cached_nondestructive_beta(nominal, r_access_nominal,
+                                       config.selfref);
+  result.shared_v_ref =
+      cached_shared_v_ref(nominal, r_access_nominal, config.selfref.i_max);
+
+  const std::size_t cells = config.geometry.cell_count();
+  const std::size_t keep_every = scatter_keep_every(config, cells);
+
+  // Per-column peripheral mismatch streams — identical draws to the
+  // scalar path, staged directly into the kernel's input tables.
+  const Xoshiro256 column_master(config.seed ^ 0x5741524d5454536bULL);
+  YieldKernelInputs inputs;
+  inputs.selfref = config.selfref;
+  inputs.i_droop_ref = nominal.i_droop_ref.value();
+  inputs.beta_destructive = result.beta_destructive;
+  inputs.beta_nondestructive = result.beta_nondestructive;
+  inputs.shared_v_ref = result.shared_v_ref;
+  inputs.col_vref_err.resize(config.geometry.cols, 0.0);
+  inputs.col_beta_dev.resize(config.geometry.cols, 0.0);
+  inputs.col_alpha_dev.resize(config.geometry.cols, 0.0);
+  inputs.col_ref_p.resize(config.geometry.cols);
+  inputs.col_ref_ap.resize(config.geometry.cols);
+  for (std::size_t c = 0; c < config.geometry.cols; ++c) {
+    Xoshiro256 stream = column_master.fork(c);
+    inputs.col_beta_dev[c] = sample_normal(stream, 0.0, config.sigma_beta);
+    inputs.col_alpha_dev[c] = sample_normal(stream, 0.0, config.sigma_alpha);
+    inputs.col_vref_err[c] =
+        sample_normal(stream, 0.0, config.sigma_vref.value());
+    inputs.col_ref_p[c] = variation.sample(stream);
+    inputs.col_ref_ap[c] = variation.sample(stream);
   }
+  const YieldBatchKernel kernel = YieldBatchKernel::build(inputs);
+
+  // Cache-blocked sweep: sample a block of cells into SoA arrays (the
+  // exact per-cell streams MemoryArray forks) and solve all lanes while
+  // the samples are L1-resident.  Chunks write disjoint margin slots and
+  // private window partials; the window merge and the record pass run
+  // serially in index order, so any thread count is bit-identical.
+  const Xoshiro256 cell_master(config.seed);
+  std::vector<std::array<SenseMargins, 4>> cell_margins(cells);
+  const bool parallel =
+      executor != nullptr && executor->thread_count() > 1;
+  const std::size_t chunks = parallel ? executor->thread_count() : 1;
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  std::vector<double> chunk_max_low(chunks, -kInf);
+  std::vector<double> chunk_min_high(chunks, kInf);
+  obs::HistogramMetric* block_hist =
+      obs::metrics_enabled()
+          ? &obs::Registry::instance().histogram("mc.block_seconds")
+          : nullptr;
+  STTRAM_OBS_SET_GAUGE("mc.batch_size", kMcBlockSize);
+  const auto run_range = [&](std::size_t chunk, std::size_t begin,
+                             std::size_t end) {
+    VariationBlock block;
+    double max_low = -kInf;
+    double min_high = kInf;
+    for (std::size_t b = begin; b < end; b += kMcBlockSize) {
+      const std::size_t count = std::min(end - b, kMcBlockSize);
+      const auto t0 = block_hist != nullptr
+                          ? std::chrono::steady_clock::now()
+                          : std::chrono::steady_clock::time_point{};
+      sample_variation_block(cell_master, variation,
+                             r_access_nominal.value(), config.sigma_access,
+                             b, count, block);
+      kernel.solve(block, b, cell_margins.data() + b, &max_low, &min_high);
+      if (block_hist != nullptr) {
+        block_hist->record(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      }
+    }
+    chunk_max_low[chunk] = max_low;
+    chunk_min_high[chunk] = min_high;
+  };
+  if (parallel) {
+    executor->for_chunks(cells, run_range);
+  } else {
+    run_range(0, 0, cells);
+  }
+  double max_low = -kInf;
+  double min_high = kInf;
+  for (std::size_t c = 0; c < chunks; ++c) {
+    max_low = std::max(max_low, chunk_max_low[c]);
+    min_high = std::min(min_high, chunk_min_high[c]);
+  }
+  result.shared_reference_window = Volt(min_high - max_low);
+
+  record_all(result, cell_margins, config, keep_every);
+  return result;
+}
+
+}  // namespace
+
+YieldResult run_yield_experiment(const YieldConfig& config,
+                                 ParallelExecutor* executor) {
+  STTRAM_OBS_COUNT("yield.experiments");
+  obs::TraceSpan span("run_yield_experiment", "yield");
+  STTRAM_PROFILE_SCOPE("yield.experiment");
+  const bool metered = obs::metrics_enabled();
+  const auto t_begin = std::chrono::steady_clock::now();
+  YieldResult result = config.use_batch
+                           ? run_yield_batched(config, executor)
+                           : run_yield_scalar(config, executor);
   if (metered) {
     const double elapsed =
         std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -179,7 +328,7 @@ YieldResult run_yield_experiment(const YieldConfig& config,
     registry.timer("yield.experiment_seconds").record(elapsed);
     if (elapsed > 0.0) {
       registry.gauge("yield.cells_per_second")
-          .set(static_cast<double>(cells) / elapsed);
+          .set(static_cast<double>(config.geometry.cell_count()) / elapsed);
     }
   }
   return result;

@@ -1,0 +1,122 @@
+// Structure-of-arrays blocks for batched Monte-Carlo trial kernels.
+//
+// The scalar MC paths draw one trial's variation vector, solve it, and
+// move on — every solve walks a fresh set of heap-allocated scheme
+// objects and the compiler can't vectorize across trials.  These blocks
+// re-stage the same work as: sample a block of trials into SoA arrays,
+// run a closed-form kernel over all lanes (straight-line arithmetic on
+// contiguous doubles), reduce.  A block of 64 trials keeps every array
+// of this header inside L1.
+//
+// Bit-identity contract: a lane's samples come from exactly the stream
+// the scalar path would fork for that trial index (`master.fork(first +
+// lane)`), drawn in exactly the scalar draw order — so the SoA arrays
+// hold the *same doubles* the scalar path consumed, and any batch
+// split of [0, trials) produces identical values lane by lane.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "sttram/common/error.hpp"
+#include "sttram/device/variation.hpp"
+#include "sttram/stats/distributions.hpp"
+#include "sttram/stats/rng.hpp"
+
+namespace sttram {
+
+/// Default trial-block size: 64 lanes x ~6 SoA arrays of doubles = 3 kB,
+/// comfortably L1-resident alongside the kernel's per-column tables.
+inline constexpr std::size_t kMcBlockSize = 64;
+
+/// One block of sampled per-cell device variation, SoA across lanes.
+/// Field order mirrors what the margin kernels consume: the four linear
+/// R-I law parameters plus the access-device resistance.
+struct VariationBlock {
+  std::size_t size = 0;  ///< valid lanes (<= kMcBlockSize)
+  std::array<double, kMcBlockSize> r_low0;
+  std::array<double, kMcBlockSize> r_high0;
+  std::array<double, kMcBlockSize> droop_low;
+  std::array<double, kMcBlockSize> droop_high;
+  std::array<double, kMcBlockSize> r_access;
+};
+
+/// Samples lanes [first, first + count) of the cell population into
+/// `out`, replicating MemoryArray's per-cell draw sequence exactly:
+/// fork the cell's stream, draw the MTJ variation, then the lognormal
+/// access-device factor around `r_access_nominal`.
+inline void sample_variation_block(const Xoshiro256& master,
+                                   const MtjVariationModel& variation,
+                                   double r_access_nominal,
+                                   double sigma_access, std::size_t first,
+                                   std::size_t count, VariationBlock& out) {
+  require(count <= kMcBlockSize,
+          "sample_variation_block: count exceeds kMcBlockSize");
+  out.size = count;
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    Xoshiro256 stream = master.fork(first + lane);
+    const MtjParams p = variation.sample(stream);
+    out.r_low0[lane] = p.r_low0.value();
+    out.r_high0[lane] = p.r_high0.value();
+    out.droop_low[lane] = p.droop_low.value();
+    out.droop_high[lane] = p.droop_high.value();
+    out.r_access[lane] =
+        sample_lognormal_median(stream, r_access_nominal, sigma_access);
+  }
+}
+
+/// One block of shifted standard-normal draws for importance sampling,
+/// dimension-major (`z[d * capacity + lane]`) so a kernel sweeping one
+/// coordinate across all lanes reads contiguously.  `dot[lane]` carries
+/// the likelihood-ratio accumulator `shift . z` the weight needs.
+struct GaussianBlock {
+  std::size_t dim = 0;
+  std::size_t size = 0;      ///< valid lanes
+  std::size_t capacity = 0;  ///< lane stride of `z`
+  std::vector<double> z;     ///< dim x capacity, dimension-major
+  std::vector<double> dot;   ///< shift . z per lane
+
+  void reset(std::size_t new_dim, std::size_t new_capacity) {
+    dim = new_dim;
+    capacity = new_capacity;
+    size = 0;
+    z.assign(dim * capacity, 0.0);
+    dot.assign(capacity, 0.0);
+  }
+
+  /// Pointer to coordinate `d` of lane 0.
+  [[nodiscard]] const double* axis(std::size_t d) const {
+    return z.data() + d * capacity;
+  }
+  [[nodiscard]] double* axis(std::size_t d) {
+    return z.data() + d * capacity;
+  }
+};
+
+/// Fills lanes [first, first + count) of the shifted proposal
+/// N(shift, I)^dim into `out`, replicating importance_sample's per-trial
+/// draw order exactly (fork trial stream; per dimension: draw, shift,
+/// accumulate the dot product).  `out` must have been reset() with
+/// capacity >= count and matching dim.
+inline void fill_shifted_gaussian_block(const Xoshiro256& master,
+                                        const std::vector<double>& shift,
+                                        std::size_t first, std::size_t count,
+                                        GaussianBlock& out) {
+  require(out.dim == shift.size() && out.capacity >= count,
+          "fill_shifted_gaussian_block: block not sized for this fill");
+  out.size = count;
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    Xoshiro256 stream = master.fork(first + lane);
+    double dot = 0.0;
+    for (std::size_t d = 0; d < out.dim; ++d) {
+      const double zi = shift[d] + sample_standard_normal(stream);
+      out.z[d * out.capacity + lane] = zi;
+      dot += shift[d] * zi;
+    }
+    out.dot[lane] = dot;
+  }
+}
+
+}  // namespace sttram

@@ -1,5 +1,6 @@
 #include "sttram/stats/importance.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "sttram/common/error.hpp"
@@ -7,6 +8,7 @@
 #include "sttram/obs/metrics.hpp"
 #include "sttram/obs/trace.hpp"
 #include "sttram/stats/distributions.hpp"
+#include "sttram/stats/monte_carlo.hpp"
 
 namespace sttram {
 
@@ -73,6 +75,75 @@ ImportanceEstimate importance_sample(
         sum_w2 += w * w;
       }
     }
+  }
+  STTRAM_OBS_ADD("is.trials", trials);
+  STTRAM_OBS_ADD("is.hits", hits);
+  ImportanceEstimate e;
+  e.trials = trials;
+  e.hits = hits;
+  const double n = static_cast<double>(trials);
+  e.probability = sum_w / n;
+  const double var = std::max(0.0, sum_w2 / n - e.probability * e.probability);
+  e.std_error = std::sqrt(var / n);
+  e.relative_error =
+      e.probability > 0.0 ? e.std_error / e.probability : 0.0;
+  return e;
+}
+
+ImportanceEstimate importance_sample_blocked(
+    std::uint64_t seed, std::size_t trials, const std::vector<double>& shift,
+    const std::function<void(const GaussianBlock& block, std::size_t first,
+                             std::uint8_t* fails)>& fails_block,
+    ParallelExecutor* executor, std::size_t block_size) {
+  require(trials > 0, "importance_sample_blocked: trials must be > 0");
+  obs::TraceSpan span("importance_sample_blocked", "mc");
+  require(!shift.empty(), "importance_sample_blocked: shift vector required");
+  const std::size_t dim = shift.size();
+  double shift_sq = 0.0;
+  for (const double s : shift) shift_sq += s * s;
+
+  struct TrialOutcome {
+    bool hit = false;
+    double w = 0.0;
+  };
+  MonteCarloOptions options;
+  options.executor = executor;
+  const std::vector<TrialOutcome> outcomes =
+      run_monte_carlo_blocked<TrialOutcome>(
+          seed, trials,
+          [&](const Xoshiro256& master, std::size_t begin, std::size_t end,
+              TrialOutcome* out) {
+            // Reused per thread: for_chunks runs each chunk on one pool
+            // thread, so these never race.
+            thread_local GaussianBlock block;
+            thread_local std::vector<std::uint8_t> fail;
+            const std::size_t count = end - begin;
+            if (block.dim != dim || block.capacity < count) {
+              block.reset(dim, count);
+            }
+            if (fail.size() < count) fail.resize(count);
+            fill_shifted_gaussian_block(master, shift, begin, count, block);
+            std::fill_n(fail.begin(), count, std::uint8_t{0});
+            fails_block(block, begin, fail.data());
+            for (std::size_t lane = 0; lane < count; ++lane) {
+              out[lane].hit = fail[lane] != 0;
+              // Same weight expression (and libm call) as the scalar
+              // path, evaluated only on failing lanes as it is there.
+              out[lane].w = out[lane].hit
+                                ? std::exp(-block.dot[lane] + 0.5 * shift_sq)
+                                : 0.0;
+            }
+          },
+          options, block_size);
+
+  double sum_w = 0.0;
+  double sum_w2 = 0.0;
+  std::size_t hits = 0;
+  for (const TrialOutcome& o : outcomes) {
+    if (!o.hit) continue;
+    ++hits;
+    sum_w += o.w;
+    sum_w2 += o.w * o.w;
   }
   STTRAM_OBS_ADD("is.trials", trials);
   STTRAM_OBS_ADD("is.hits", hits);

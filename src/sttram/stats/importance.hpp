@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "sttram/common/parallel.hpp"
+#include "sttram/stats/batch.hpp"
 #include "sttram/stats/rng.hpp"
 
 namespace sttram {
@@ -39,6 +40,22 @@ ImportanceEstimate importance_sample(
     std::uint64_t seed, std::size_t trials, const std::vector<double>& shift,
     const std::function<bool(const std::vector<double>&)>& fails,
     ParallelExecutor* executor = nullptr);
+
+/// Batched variant of importance_sample for SoA failure kernels: instead
+/// of one predicate call per trial, `fails_block(block, first, fails)`
+/// classifies a whole block of proposal draws at once, writing a nonzero
+/// byte to `fails[lane]` for each failing lane (`first` is the trial
+/// index of lane 0; the buffer arrives zeroed).  The proposal block is
+/// filled from the same per-trial streams the scalar path forks and the
+/// weight reduction runs serially in trial order, so the estimate is
+/// bit-identical to importance_sample for any thread count and invariant
+/// under `block_size` (0 = one block per executor chunk).
+ImportanceEstimate importance_sample_blocked(
+    std::uint64_t seed, std::size_t trials, const std::vector<double>& shift,
+    const std::function<void(const GaussianBlock& block, std::size_t first,
+                             std::uint8_t* fails)>& fails_block,
+    ParallelExecutor* executor = nullptr,
+    std::size_t block_size = kMcBlockSize);
 
 /// Finds the failure design point for a smooth performance function
 /// g(z) (g >= 0 is a pass, g < 0 a failure, g(0) > 0 required): walks

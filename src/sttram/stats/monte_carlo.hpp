@@ -137,6 +137,68 @@ std::vector<T> run_monte_carlo(std::uint64_t seed, std::size_t trials,
   return out;
 }
 
+/// Blocked variant of run_monte_carlo for batched (SoA) trial kernels:
+/// instead of one callback per trial, `block_fn(master, begin, end, out)`
+/// fills results for the whole trial block [begin, end) at once —
+/// sampling into an SoA block from the per-trial streams
+/// `master.fork(k)` and solving all lanes together.  `out` points at the
+/// result slot of trial `begin`; blocks never span chunk boundaries, so
+/// with an executor set each chunk runs its own block sequence and the
+/// preallocated result vector is written in place — bit-identical to the
+/// serial run for any thread count, and (because every trial forks its
+/// own stream) invariant under the block size.  `block_size` 0 means one
+/// block per chunk ("whole-run" when serial).  When metered, each
+/// block's wall time goes to the `mc.block_seconds` histogram and the
+/// lane width to the `mc.batch_size` gauge.
+template <typename T>
+std::vector<T> run_monte_carlo_blocked(
+    std::uint64_t seed, std::size_t trials,
+    const std::function<void(const Xoshiro256& master, std::size_t begin,
+                             std::size_t end, T* out)>& block_fn,
+    const MonteCarloOptions& options, std::size_t block_size) {
+  obs::TraceSpan span("run_monte_carlo_blocked", "mc");
+  std::vector<T> out(trials);
+  if (trials == 0) return out;
+  const Xoshiro256 master(seed);
+  const bool metered = obs::metrics_enabled();
+  const std::size_t stride = block_size == 0 ? trials : block_size;
+  STTRAM_OBS_SET_GAUGE("mc.batch_size", stride);
+  obs::HistogramMetric* block_hist =
+      metered ? &obs::Registry::instance().histogram("mc.block_seconds")
+              : nullptr;
+  const auto run_range = [&](std::size_t begin, std::size_t end) {
+    for (std::size_t b = begin; b < end; b += stride) {
+      const std::size_t stop = std::min(end, b + stride);
+      if (block_hist != nullptr) {
+        const auto t0 = std::chrono::steady_clock::now();
+        block_fn(master, b, stop, out.data() + b);
+        block_hist->record(std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - t0)
+                               .count());
+      } else {
+        block_fn(master, b, stop, out.data() + b);
+      }
+    }
+  };
+  const auto t_begin = std::chrono::steady_clock::now();
+  if (detail::parallel_requested(options)) {
+    options.executor->for_chunks(
+        trials, [&](std::size_t, std::size_t begin, std::size_t end) {
+          run_range(begin, end);
+        });
+  } else {
+    run_range(0, trials);
+  }
+  if (options.progress) options.progress(trials, trials);
+  if (metered) {
+    detail::publish_mc_throughput(
+        trials, std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - t_begin)
+                    .count());
+  }
+  return out;
+}
+
 /// Convenience: runs scalar trials and reduces them into RunningStats.
 RunningStats monte_carlo_stats(
     std::uint64_t seed, std::size_t trials,
