@@ -8,6 +8,11 @@
 // End-to-end yield and tail throughput ride along, plus the batched
 // Simmons Newton and the operating-point cache hit rate.
 //
+// The batched kernels dispatch on active_simd_isa(); this bench times
+// every ISA the host supports (forced via set_simd_isa_override, bitwise
+// gated against the scalar oracle first) and claims >= 2x for the widest
+// SIMD width over the scalar-ISA batch loop on AVX2-class hardware.
+//
 // `--no-batch` makes the scalar path the snapshot's subject (same metric
 // names), so a committed scalar baseline pairs directly with a batched
 // candidate in tools/bench_compare.
@@ -22,6 +27,7 @@
 #include "bench_util.hpp"
 #include "snapshot.hpp"
 #include "sttram/cell/array.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/device/op_cache.hpp"
 #include "sttram/device/ri_curve.hpp"
 #include "sttram/sense/margins_batch.hpp"
@@ -110,8 +116,6 @@ int main(int argc, char** argv) {
     inputs.col_ref_p[c] = variation.sample(stream);
     inputs.col_ref_ap[c] = variation.sample(stream);
   }
-  const YieldBatchKernel kernel = YieldBatchKernel::build(inputs);
-
   // Scalar oracle: the per-cell solve sim/yield ran before batching
   // (fresh scheme objects per cell).
   const auto scalar_cell = [&](std::size_t idx,
@@ -149,27 +153,53 @@ int main(int argc, char** argv) {
                            blocks[b]);
   }
 
-  // Correctness gate before any timing: batched == scalar per cell.
+  // Correctness gate before any timing: batched == scalar per cell, for
+  // every margin-kernel ISA this host supports (forced one at a time via
+  // set_simd_isa_override; each is timed only after it passes bitwise).
   std::vector<std::array<SenseMargins, 4>> scalar_m(cells);
-  std::vector<std::array<SenseMargins, 4>> batched_m(cells);
+  YieldMarginsSoA batched_m;
+  batched_m.resize(cells);
   for (std::size_t idx = 0; idx < cells; ++idx) {
     scalar_cell(idx, scalar_m[idx]);
   }
-  {
+  volatile double sink = 0.0;  // keep the solves observable
+  const auto solve_all = [&](const YieldBatchKernel& k) {
     double lo = -std::numeric_limits<double>::infinity();
     double hi = std::numeric_limits<double>::infinity();
     for (std::size_t b = 0; b < n_blocks; ++b) {
-      kernel.solve(blocks[b], b * kMcBlockSize,
-                   batched_m.data() + b * kMcBlockSize, &lo, &hi);
+      k.solve(blocks[b], b * kMcBlockSize, &batched_m, &lo, &hi);
     }
-  }
-  bool identical = true;
-  for (std::size_t idx = 0; idx < cells; ++idx) {
-    if (!margins_equal(scalar_m[idx], batched_m[idx])) identical = false;
-  }
+    sink = lo + hi;
+  };
 
-  // --- margin-solve kernel timing ------------------------------------
-  volatile double sink = 0.0;  // keep the solves observable
+  const SimdIsa active_isa = active_simd_isa();
+  bool identical = true;
+  double batched_s = 0.0;     // active-ISA solve time
+  double scalar_isa_s = 0.0;  // forced-kScalar batch-loop time
+  std::printf("margin solve (4 schemes/cell, %zu cells):\n", cells);
+  for (SimdIsa isa : {SimdIsa::kScalar, SimdIsa::kSse2, SimdIsa::kNeon,
+                      SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    if (!simd_isa_supported(isa)) continue;
+    set_simd_isa_override(isa);
+    const YieldBatchKernel k = YieldBatchKernel::build(inputs);
+    solve_all(k);
+    bool isa_ok = true;
+    for (std::size_t idx = 0; idx < cells; ++idx) {
+      if (!margins_equal(scalar_m[idx], batched_m.cell(idx))) isa_ok = false;
+    }
+    identical = identical && isa_ok;
+    const double s = best_of(20, [&] { solve_all(k); });
+    if (isa == SimdIsa::kScalar) scalar_isa_s = s;
+    if (isa == active_isa) batched_s = s;
+    std::printf("  %-7s %8.2f ns/cell  (%.3g trials/sec)%s%s\n",
+                simd_isa_name(isa), 1e9 * s / static_cast<double>(cells),
+                static_cast<double>(cells) / s,
+                isa == active_isa ? "  [active]" : "",
+                isa_ok ? "" : "  MISMATCH vs oracle");
+  }
+  clear_simd_isa_override();
+
+  // Heap-object oracle timing (the pre-batching per-cell path).
   const double scalar_s = best_of(5, [&] {
     std::array<SenseMargins, 4> m;
     double acc = 0.0;
@@ -179,26 +209,18 @@ int main(int argc, char** argv) {
     }
     sink = acc;
   });
-  const double batched_s = best_of(20, [&] {
-    double lo = -std::numeric_limits<double>::infinity();
-    double hi = std::numeric_limits<double>::infinity();
-    for (std::size_t b = 0; b < n_blocks; ++b) {
-      kernel.solve(blocks[b], b * kMcBlockSize,
-                   batched_m.data() + b * kMcBlockSize, &lo, &hi);
-    }
-    sink = lo + hi;
-  });
   (void)sink;
   const double scalar_rate = static_cast<double>(cells) / scalar_s;
   const double batched_rate = static_cast<double>(cells) / batched_s;
   const double speedup = scalar_s / batched_s;
+  const double simd_speedup =
+      batched_s > 0.0 ? scalar_isa_s / batched_s : 1.0;
   const double subject_rate = batch ? batched_rate : scalar_rate;
-  std::printf("margin solve (4 schemes/cell, %zu cells):\n", cells);
-  std::printf("  scalar   %8.1f ns/cell  (%.3g trials/sec)\n",
+  std::printf("  oracle  %8.2f ns/cell  (%.3g trials/sec)  "
+              "[per-cell scheme objects]\n",
               1e9 * scalar_s / static_cast<double>(cells), scalar_rate);
-  std::printf("  batched  %8.1f ns/cell  (%.3g trials/sec)\n",
-              1e9 * batched_s / static_cast<double>(cells), batched_rate);
-  std::printf("  speedup  %8.1fx\n\n", speedup);
+  std::printf("  speedup  %7.1fx vs oracle, %.2fx vs scalar-ISA batch\n\n",
+              speedup, simd_speedup);
 
   // --- end-to-end yield + tail ---------------------------------------
   YieldConfig e2e = cfg;
@@ -259,14 +281,22 @@ int main(int argc, char** argv) {
               batch ? "batched" : "scalar", simmons_rate);
 
   // --- claims ---------------------------------------------------------
+  const bool avx2_class = simd_isa_supported(SimdIsa::kAvx2);
+  bool simd_ok = true;
   std::printf("Claims:\n");
   bench::claim("batched margins bit-identical to the scalar oracle "
-               "(all 4 schemes x 16 kb)",
+               "(every supported ISA x 4 schemes x 16 kb)",
                identical);
   bench::claim("end-to-end yield identical with batching on vs off",
                e2e_identical);
   if (batch) {
     bench::claim("margin-solve kernel >= 10x the scalar path", speedup >= 10.0);
+    if (avx2_class) {
+      simd_ok = simd_speedup >= 2.0;
+      bench::claim("SIMD margin kernel >= 2x the scalar-ISA batch loop "
+                   "(AVX2-class host)",
+                   simd_ok);
+    }
   }
 
   // --- perf snapshot ---------------------------------------------------
@@ -292,8 +322,14 @@ int main(int argc, char** argv) {
   snap.add_metric("margin_kernel_speedup_vs_scalar",
                   batch ? speedup : 1.0, "x",
                   /*higher_is_better=*/true);
+  snap.add_metric("simd_kernel_speedup_vs_scalar_isa",
+                  batch ? simd_speedup : 1.0, "x",
+                  /*higher_is_better=*/true);
   snap.add_metric("yield_cells_per_second",
                   static_cast<double>(cells) / yield_s, "cell/s",
+                  /*higher_is_better=*/true);
+  snap.add_metric("mc.trials_per_sec",
+                  static_cast<double>(cells) / yield_s, "trial/s",
                   /*higher_is_better=*/true);
   snap.add_metric("tail_trials_per_second",
                   static_cast<double>(tail_trials) / tail_s, "trial/s",
@@ -303,5 +339,5 @@ int main(int argc, char** argv) {
   snap.add_metric("opcache_hit_rate", hit_rate, "ratio",
                   /*higher_is_better=*/true);
   bench::write_snapshot(snap);
-  return identical && e2e_identical ? 0 : 1;
+  return identical && e2e_identical && simd_ok ? 0 : 1;
 }

@@ -5,14 +5,21 @@
 // time-per-iteration into a BENCH_perf_kernels.json snapshot.
 #include <benchmark/benchmark.h>
 
+#include <limits>
+
 #include "snapshot.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/device/mtj_params.hpp"
+#include "sttram/device/ri_curve.hpp"
 #include "sttram/device/variation.hpp"
 #include "sttram/sense/margins.hpp"
+#include "sttram/sense/margins_batch.hpp"
 #include "sttram/sense/robustness.hpp"
 #include "sttram/sim/spice_read.hpp"
 #include "sttram/sim/yield.hpp"
 #include "sttram/spice/matrix.hpp"
+#include "sttram/stats/batch.hpp"
+#include "sttram/stats/distributions.hpp"
 #include "sttram/stats/rng.hpp"
 
 namespace {
@@ -91,6 +98,100 @@ void BM_SpiceNondestructiveRead(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SpiceNondestructiveRead);
+
+/// Kernel inputs of the Fig. 11 yield population (what bench_mc builds),
+/// shared by the per-ISA margin-solve micro timings below.
+YieldKernelInputs make_yield_kernel_inputs() {
+  YieldConfig cfg;
+  const MtjParams nominal = MtjParams::paper_calibrated();
+  const MtjVariationModel variation(nominal, cfg.variation);
+  YieldKernelInputs in;
+  in.selfref = cfg.selfref;
+  in.i_droop_ref = nominal.i_droop_ref.value();
+  in.beta_destructive =
+      cached_destructive_beta(nominal, Ohm(917.0), cfg.selfref);
+  in.beta_nondestructive =
+      cached_nondestructive_beta(nominal, Ohm(917.0), cfg.selfref);
+  in.shared_v_ref = cached_shared_v_ref(nominal, Ohm(917.0),
+                                        cfg.selfref.i_max);
+  const Xoshiro256 column_master(cfg.seed ^ 0x5741524d5454536bULL);
+  const std::size_t cols = cfg.geometry.cols;
+  in.col_vref_err.resize(cols);
+  in.col_beta_dev.resize(cols);
+  in.col_alpha_dev.resize(cols);
+  in.col_ref_p.resize(cols);
+  in.col_ref_ap.resize(cols);
+  for (std::size_t c = 0; c < cols; ++c) {
+    Xoshiro256 stream = column_master.fork(c);
+    in.col_beta_dev[c] = sample_normal(stream, 0.0, cfg.sigma_beta);
+    in.col_alpha_dev[c] = sample_normal(stream, 0.0, cfg.sigma_alpha);
+    in.col_vref_err[c] = sample_normal(stream, 0.0, cfg.sigma_vref.value());
+    in.col_ref_p[c] = variation.sample(stream);
+    in.col_ref_ap[c] = variation.sample(stream);
+  }
+  return in;
+}
+
+/// Batched four-scheme margin solve, one 64-lane block, forced to the
+/// ISA in range(0) (skipped when the host can't run it).
+void BM_BatchedMarginSolve(benchmark::State& state) {
+  const SimdIsa isa = static_cast<SimdIsa>(state.range(0));
+  if (!simd_isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this host");
+    return;
+  }
+  static const YieldKernelInputs inputs = make_yield_kernel_inputs();
+  set_simd_isa_override(isa);
+  const YieldBatchKernel kernel = YieldBatchKernel::build(inputs);
+  clear_simd_isa_override();
+  YieldConfig cfg;
+  const MtjVariationModel variation(MtjParams::paper_calibrated(),
+                                    cfg.variation);
+  VariationBlock block;
+  sample_variation_block(Xoshiro256(1), variation, 917.0, cfg.sigma_access,
+                         0, kMcBlockSize, block);
+  YieldMarginsSoA out;
+  out.resize(kMcBlockSize);
+  for (auto _ : state) {
+    double lo = -std::numeric_limits<double>::infinity();
+    double hi = std::numeric_limits<double>::infinity();
+    kernel.solve(block, 0, &out, &lo, &hi);
+    benchmark::DoNotOptimize(lo + hi);
+    benchmark::ClobberMemory();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kMcBlockSize));
+  state.SetLabel(simd_isa_name(isa));
+}
+BENCHMARK(BM_BatchedMarginSolve)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
+
+/// Batched Simmons Newton over 4096 currents, forced per ISA.
+void BM_SimmonsNewtonBatch(benchmark::State& state) {
+  const SimdIsa isa = static_cast<SimdIsa>(state.range(0));
+  if (!simd_isa_supported(isa)) {
+    state.SkipWithError("ISA not supported on this host");
+    return;
+  }
+  const SimmonsRiModel simmons =
+      SimmonsRiModel::calibrated_to(MtjParams::paper_calibrated());
+  std::vector<double> currents(4096);
+  for (std::size_t k = 0; k < currents.size(); ++k) {
+    currents[k] = 1e-7 + 1.5e-8 * static_cast<double>(k);
+  }
+  std::vector<double> v_out(currents.size());
+  set_simd_isa_override(isa);
+  for (auto _ : state) {
+    simmons.bias_voltage_batch(MtjState::kAntiParallel, currents.data(),
+                               currents.size(), v_out.data());
+    benchmark::DoNotOptimize(v_out.data());
+    benchmark::ClobberMemory();
+  }
+  clear_simd_isa_override();
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(currents.size()));
+  state.SetLabel(simd_isa_name(isa));
+}
+BENCHMARK(BM_SimmonsNewtonBatch)->Arg(0)->Arg(1)->Arg(2)->Arg(3)->Arg(4);
 
 /// Console reporter that also records each kernel's real time per
 /// iteration (seconds, lower is better) into the bench snapshot.

@@ -15,6 +15,7 @@
 #include <string>
 
 #include "bench_paths.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/obs/metrics.hpp"
 #include "sttram/obs/profile.hpp"
 #include "sttram/obs/snapshot.hpp"
@@ -45,6 +46,7 @@ inline obs::BenchSnapshot make_snapshot(const std::string& name,
   snap.git_sha = STTRAM_GIT_SHA;
   snap.build_type = STTRAM_BUILD_TYPE;
   snap.compiler = STTRAM_COMPILER_ID;
+  snap.simd_isa = simd_isa_name(active_simd_isa());
   snap.threads = threads;
   return snap;
 }

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "sttram/common/format.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/engine/bank_sim.hpp"
 #include "sttram/engine/controller/controller.hpp"
 #include "sttram/fault/fault.hpp"
@@ -191,7 +192,14 @@ void print_help() {
       "  --threads <n>      thread pool for the Monte-Carlo drivers "
       "(default 1;\n"
       "                     results are bit-identical for any thread "
-      "count)\n");
+      "count)\n"
+      "  --simd <isa>       SIMD ISA for the batched MC kernels: auto "
+      "(default,\n"
+      "                     autodetect), scalar, sse2, avx2, avx512, "
+      "neon;\n"
+      "                     results are bit-identical for every ISA "
+      "(overrides\n"
+      "                     the STTRAM_SIMD environment variable)\n");
 }
 
 /// Rejects any "--flag" token the subcommand does not understand.
@@ -1165,6 +1173,10 @@ int cmd_stats(int argc, char** argv) {
   // real run would carry.
   obs::set_metrics_enabled(true);
   obs::set_profiling_enabled(true);
+  // Which ISA the batched MC kernels dispatch to (numeric enum value as
+  // a gauge; the human-readable name is printed below).
+  const SimdIsa isa = active_simd_isa();
+  STTRAM_OBS_SET_GAUGE("mc.simd.isa", static_cast<int>(isa));
   {
     YieldConfig cfg;
     cfg.geometry = {32, 32};
@@ -1181,6 +1193,8 @@ int cmd_stats(int argc, char** argv) {
     cfg.requests = 20000;
     engine::run_traffic(cfg);
   }
+
+  std::printf("simd isa: %s\n\n", simd_isa_name(isa));
 
   const auto& registry = obs::Registry::instance();
   TextTable t({"metric", "count", "value | mean", "min", "max"});
@@ -1255,7 +1269,8 @@ int main(int argc, char** argv) {
     const bool is_metrics = std::strcmp(argv[k], "--metrics") == 0;
     const bool is_trace = std::strcmp(argv[k], "--trace") == 0;
     const bool is_threads = std::strcmp(argv[k], "--threads") == 0;
-    if (is_metrics || is_trace || is_threads) {
+    const bool is_simd = std::strcmp(argv[k], "--simd") == 0;
+    if (is_metrics || is_trace || is_threads || is_simd) {
       if (k + 1 >= argc) {
         std::fprintf(stderr, "error: %s requires a value\n", argv[k]);
         return 2;
@@ -1266,6 +1281,24 @@ int main(int argc, char** argv) {
           std::fprintf(stderr, "error: --threads wants a count >= 1\n");
           return 2;
         }
+      } else if (is_simd) {
+        const char* value = argv[++k];
+        SimdIsa isa = SimdIsa::kScalar;
+        bool is_auto = false;
+        if (!parse_simd_isa(value, &isa, &is_auto)) {
+          std::fprintf(stderr,
+                       "error: --simd: unrecognized value '%s' (expected "
+                       "auto|scalar|sse2|avx2|avx512|neon)\n",
+                       value);
+          return 2;
+        }
+        try {
+          if (is_auto) clear_simd_isa_override();
+          else set_simd_isa_override(isa);
+        } catch (const std::exception& e) {
+          std::fprintf(stderr, "error: %s\n", e.what());
+          return 2;
+        }
       } else {
         (is_metrics ? metrics_path : trace_path) = argv[++k];
       }
@@ -1273,11 +1306,19 @@ int main(int argc, char** argv) {
       args.push_back(argv[k]);
     }
   }
+  // Resolve the kernel ISA up front so a bogus STTRAM_SIMD value is a
+  // usage error (exit 2) before any command output, not a mid-run throw.
+  try {
+    (void)active_simd_isa();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 2;
+  }
   if (args.size() < 2) {
     std::fprintf(
         stderr,
         "usage: sttram_cli [--metrics <file>] [--trace <file>] "
-        "[--threads <n>] "
+        "[--threads <n>] [--simd <isa>] "
         "{margins|design|robustness|yield|tail|read|transient|traffic|"
         "fault|campaign|stats|help} [args]\n");
     return 2;

@@ -1,0 +1,164 @@
+#include "sttram/common/simd.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "sttram/common/error.hpp"
+
+namespace sttram {
+namespace {
+
+// -1 = no override / cache empty.  The cache keeps the env lookup and
+// cpuid off the per-kernel-build path; overrides invalidate it.
+std::atomic<int> g_override{-1};
+std::atomic<int> g_active_cache{-1};
+
+SimdIsa resolve_from_env_or_detect() {
+  if (const char* env = std::getenv("STTRAM_SIMD")) {
+    SimdIsa parsed = SimdIsa::kScalar;
+    bool is_auto = false;
+    if (!parse_simd_isa(env, &parsed, &is_auto)) {
+      throw InvalidArgument(
+          "STTRAM_SIMD: unrecognized value '" + std::string(env) +
+          "' (expected auto|scalar|sse2|avx2|avx512|neon)");
+    }
+    if (is_auto) return detect_simd_isa();
+    if (!simd_isa_supported(parsed)) {
+      throw InvalidArgument(std::string("STTRAM_SIMD=") +
+                            simd_isa_name(parsed) +
+                            " is not supported by this host/build");
+    }
+    return parsed;
+  }
+  return detect_simd_isa();
+}
+
+}  // namespace
+
+const char* simd_isa_name(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return "scalar";
+    case SimdIsa::kSse2:
+      return "sse2";
+    case SimdIsa::kNeon:
+      return "neon";
+    case SimdIsa::kAvx2:
+      return "avx2";
+    case SimdIsa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+int simd_isa_lanes(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return 1;
+    case SimdIsa::kSse2:
+    case SimdIsa::kNeon:
+      return 2;
+    case SimdIsa::kAvx2:
+      return 4;
+    case SimdIsa::kAvx512:
+      return 8;
+  }
+  return 1;
+}
+
+bool simd_isa_supported(SimdIsa isa) {
+  switch (isa) {
+    case SimdIsa::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case SimdIsa::kSse2:
+      return true;  // x86-64 baseline
+    case SimdIsa::kAvx2:
+      return __builtin_cpu_supports("avx2") != 0;
+    case SimdIsa::kAvx512:
+      return __builtin_cpu_supports("avx512f") != 0 &&
+             __builtin_cpu_supports("avx512dq") != 0;
+    case SimdIsa::kNeon:
+      return false;
+#elif defined(__aarch64__)
+    case SimdIsa::kNeon:
+      return true;  // aarch64 baseline
+    case SimdIsa::kSse2:
+    case SimdIsa::kAvx2:
+    case SimdIsa::kAvx512:
+      return false;
+#else
+    default:
+      return false;
+#endif
+  }
+  return false;
+}
+
+SimdIsa detect_simd_isa() {
+#if defined(__x86_64__) || defined(__i386__)
+  if (simd_isa_supported(SimdIsa::kAvx512)) return SimdIsa::kAvx512;
+  if (simd_isa_supported(SimdIsa::kAvx2)) return SimdIsa::kAvx2;
+  return SimdIsa::kSse2;
+#elif defined(__aarch64__)
+  return SimdIsa::kNeon;
+#else
+  return SimdIsa::kScalar;
+#endif
+}
+
+bool parse_simd_isa(std::string_view text, SimdIsa* out, bool* is_auto) {
+  *is_auto = false;
+  if (text == "auto") {
+    *is_auto = true;
+    return true;
+  }
+  if (text == "scalar") {
+    *out = SimdIsa::kScalar;
+    return true;
+  }
+  if (text == "sse2") {
+    *out = SimdIsa::kSse2;
+    return true;
+  }
+  if (text == "neon") {
+    *out = SimdIsa::kNeon;
+    return true;
+  }
+  if (text == "avx2") {
+    *out = SimdIsa::kAvx2;
+    return true;
+  }
+  if (text == "avx512") {
+    *out = SimdIsa::kAvx512;
+    return true;
+  }
+  return false;
+}
+
+SimdIsa active_simd_isa() {
+  const int cached = g_active_cache.load(std::memory_order_relaxed);
+  if (cached >= 0) return static_cast<SimdIsa>(cached);
+  const int forced = g_override.load(std::memory_order_relaxed);
+  const SimdIsa isa = forced >= 0 ? static_cast<SimdIsa>(forced)
+                                  : resolve_from_env_or_detect();
+  g_active_cache.store(static_cast<int>(isa), std::memory_order_relaxed);
+  return isa;
+}
+
+void set_simd_isa_override(SimdIsa isa) {
+  if (!simd_isa_supported(isa)) {
+    throw InvalidArgument(std::string("--simd ") + simd_isa_name(isa) +
+                          " is not supported by this host/build");
+  }
+  g_override.store(static_cast<int>(isa), std::memory_order_relaxed);
+  g_active_cache.store(static_cast<int>(isa), std::memory_order_relaxed);
+}
+
+void clear_simd_isa_override() {
+  g_override.store(-1, std::memory_order_relaxed);
+  g_active_cache.store(-1, std::memory_order_relaxed);
+}
+
+}  // namespace sttram

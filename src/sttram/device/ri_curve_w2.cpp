@@ -1,0 +1,17 @@
+// Width-2 Simmons Newton: SSE2 on x86-64, NEON on aarch64 (both baseline
+// ISAs, so no extra -m flags — just -ffp-contract=off).
+#include "sttram/device/ri_curve_simd.hpp"
+
+namespace sttram {
+
+const DeviceSimdKernels* device_simd_kernels_w2() {
+#if defined(__x86_64__) || defined(__aarch64__)
+  static const DeviceSimdKernels kernels{
+      &simd_detail::simmons_newton_simd<2>};
+  return &kernels;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sttram

@@ -1,0 +1,16 @@
+// Width-4 Simmons Newton, compiled with -mavx2 -ffp-contract=off.
+#include "sttram/device/ri_curve_simd.hpp"
+
+namespace sttram {
+
+const DeviceSimdKernels* device_simd_kernels_w4() {
+#if defined(__x86_64__)
+  static const DeviceSimdKernels kernels{
+      &simd_detail::simmons_newton_simd<4>};
+  return &kernels;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sttram

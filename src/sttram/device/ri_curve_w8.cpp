@@ -1,0 +1,17 @@
+// Width-8 Simmons Newton, compiled with -mavx512f -mavx512dq
+// -ffp-contract=off.
+#include "sttram/device/ri_curve_simd.hpp"
+
+namespace sttram {
+
+const DeviceSimdKernels* device_simd_kernels_w8() {
+#if defined(__x86_64__)
+  static const DeviceSimdKernels kernels{
+      &simd_detail::simmons_newton_simd<8>};
+  return &kernels;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sttram

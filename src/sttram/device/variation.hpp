@@ -9,7 +9,10 @@
 // and a normal term models critical-current (area) variation.
 #pragma once
 
+#include <cstddef>
+
 #include "sttram/device/mtj_params.hpp"
+#include "sttram/stats/batch.hpp"
 #include "sttram/stats/rng.hpp"
 
 namespace sttram {
@@ -74,5 +77,18 @@ class MtjVariationModel {
 /// sigma_common used above: sigma = ln(1.08) * (sigma_angstrom / 0.1).
 double sigma_common_from_thickness(double sigma_angstrom,
                                    double pct_per_tenth_angstrom = 0.08);
+
+/// Samples lanes [first, first + count) of the cell population into
+/// `out`, replicating MemoryArray's per-cell draw sequence exactly:
+/// fork the cell's stream, draw the MTJ variation, then the lognormal
+/// access-device factor around `r_access_nominal`.  The normal deviates
+/// behind the lognormals go through the staged polar fill
+/// (stats/batch.hpp), so the value tail runs on the active SIMD ISA
+/// while every lane consumes its stream in the exact scalar order.
+void sample_variation_block(const Xoshiro256& master,
+                            const MtjVariationModel& variation,
+                            double r_access_nominal, double sigma_access,
+                            std::size_t first, std::size_t count,
+                            VariationBlock& out);
 
 }  // namespace sttram

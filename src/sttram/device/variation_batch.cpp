@@ -1,0 +1,84 @@
+// Batched SoA variation sampling (declaration in variation.hpp).
+//
+// Per lane the draw sequence is exactly MtjVariationModel::sample
+// followed by the access-device lognormal: common factor, TMR factor,
+// (optional) truncated-normal critical-current factor, access factor.
+// Each lognormal exp(mu + sigma * n) is staged — the polar rejection
+// draws run scalar per lane (stream order), the value tail
+// n = u * sqrt(-2 log(s) / s) runs on the active SIMD ISA, and the exp
+// stays a scalar libm call — so every lane's doubles are bit-identical
+// to the scalar path's.  The truncated-normal draw (whose count is
+// data-dependent) goes through the scalar sampler unchanged; its result
+// is consumed and dropped, as the margin kernels don't read i_critical.
+#include <array>
+#include <cmath>
+
+#include "sttram/common/error.hpp"
+#include "sttram/device/variation.hpp"
+#include "sttram/obs/profile.hpp"
+#include "sttram/stats/distributions.hpp"
+
+namespace sttram {
+
+void sample_variation_block(const Xoshiro256& master,
+                            const MtjVariationModel& variation,
+                            double r_access_nominal, double sigma_access,
+                            std::size_t first, std::size_t count,
+                            VariationBlock& out) {
+  require(count <= kMcBlockSize,
+          "sample_variation_block: count exceeds kMcBlockSize");
+  require(r_access_nominal > 0.0 && sigma_access >= 0.0,
+          "sample_variation_block: need r_access_nominal > 0, sigma >= 0");
+  STTRAM_PROFILE_SCOPE("variation.sample");
+  out.size = count;
+  const VariationParams& vp = variation.variation();
+  const MtjParams& nominal = variation.nominal();
+
+  // Stage the three lognormals' polar pairs lane-major (each lane's
+  // stream walks its draws in the scalar order), rows SoA for the tail.
+  alignas(64) std::array<double, kMcBlockSize> u_c, s_c, u_t, s_t, u_a, s_a;
+  alignas(64) std::array<double, kMcBlockSize> t_row, n_row;
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    Xoshiro256 stream = master.fork(first + lane);
+    stage_polar_pair(stream, &u_c[lane], &s_c[lane]);
+    stage_polar_pair(stream, &u_t[lane], &s_t[lane]);
+    if (vp.sigma_icrit > 0.0) {
+      (void)sample_truncated_normal(
+          stream, 1.0, vp.sigma_icrit,
+          std::max(0.05, 1.0 - 4.0 * vp.sigma_icrit),
+          1.0 + 4.0 * vp.sigma_icrit);
+    }
+    stage_polar_pair(stream, &u_a[lane], &s_a[lane]);
+  }
+
+  // Lognormal factor per staged slot: exp(mu + sigma * n), mu and exp
+  // scalar, the normal's value tail vectorized.
+  const auto lognormal_row = [&](const std::array<double, kMcBlockSize>& u,
+                                 const std::array<double, kMcBlockSize>& s,
+                                 double median, double sigma,
+                                 std::array<double, kMcBlockSize>& val) {
+    const double mu = std::log(median);
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      t_row[lane] = std::log(s[lane]);
+    }
+    polar_tail(u.data(), s.data(), t_row.data(), count, n_row.data());
+    for (std::size_t lane = 0; lane < count; ++lane) {
+      val[lane] = std::exp(mu + sigma * n_row[lane]);
+    }
+  };
+
+  alignas(64) std::array<double, kMcBlockSize> common, tmr;
+  lognormal_row(u_c, s_c, 1.0, vp.sigma_common, common);
+  lognormal_row(u_t, s_t, 1.0, vp.sigma_tmr, tmr);
+  lognormal_row(u_a, s_a, r_access_nominal, sigma_access, out.r_access);
+
+  for (std::size_t lane = 0; lane < count; ++lane) {
+    const MtjParams p = nominal.scaled(common[lane], tmr[lane]);
+    out.r_low0[lane] = p.r_low0.value();
+    out.r_high0[lane] = p.r_high0.value();
+    out.droop_low[lane] = p.droop_low.value();
+    out.droop_high[lane] = p.droop_high.value();
+  }
+}
+
+}  // namespace sttram

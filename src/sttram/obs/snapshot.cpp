@@ -40,6 +40,7 @@ Json BenchSnapshot::to_json() const {
   out.set("git_sha", Json::string(git_sha));
   out.set("build_type", Json::string(build_type));
   out.set("compiler", Json::string(compiler));
+  out.set("simd_isa", Json::string(simd_isa));
   out.set("threads", Json::integer(threads));
 
   Json metric_arr = Json::array();
@@ -87,6 +88,9 @@ BenchSnapshot BenchSnapshot::from_json(const Json& j) {
   s.git_sha = j.at("git_sha").as_string();
   s.build_type = j.at("build_type").as_string();
   s.compiler = j.at("compiler").as_string();
+  // Additive since the SIMD kernels landed; older snapshots lack it.
+  s.simd_isa =
+      j.contains("simd_isa") ? j.at("simd_isa").as_string() : "unknown";
   s.threads = static_cast<int>(j.at("threads").as_integer());
 
   const Json& metric_arr = j.at("metrics");

@@ -53,6 +53,10 @@ struct BenchSnapshot {
   std::string git_sha;     ///< short commit SHA ("unknown" outside git)
   std::string build_type;  ///< CMAKE_BUILD_TYPE at compile time
   std::string compiler;    ///< compiler id + version
+  /// SIMD ISA the batched kernels dispatched to during the run
+  /// ("scalar", "avx2", ...).  Additive schema field: absent in
+  /// pre-SIMD snapshots, read back as "unknown".
+  std::string simd_isa = "unknown";
   int threads = 1;
   std::vector<BenchMetric> metrics;
   std::vector<BenchHistogram> histograms;

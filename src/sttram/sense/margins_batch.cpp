@@ -5,8 +5,10 @@
 
 #include "sttram/cell/access_transistor.hpp"
 #include "sttram/common/error.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/device/op_cache.hpp"
 #include "sttram/device/ri_curve.hpp"
+#include "sttram/sense/margins_batch_simd.hpp"
 
 namespace sttram {
 namespace {
@@ -24,6 +26,67 @@ std::uint64_t scheme_key(OpKind kind, const MtjParams& nominal, Ohm r_access,
   key = op_key_mix(key, i_read.value());
   key = op_key_mix(key, alpha);
   return key;
+}
+
+/// The PR 9 batch loop, verbatim — the kScalar dispatch target and the
+/// differential oracle every wider width is tested against.
+void yield_solve_scalar(const YieldKernelTables& k, const VariationBlock& block,
+                        std::size_t first_cell, double* const* out_rows,
+                        double* max_low, double* min_high) {
+  const double* rl = block.r_low0.data();
+  const double* rh = block.r_high0.data();
+  const double* dl = block.droop_low.data();
+  const double* dh = block.droop_high.data();
+  const double* ra = block.r_access.data();
+  double ml = *max_low;
+  double mh = *min_high;
+  std::size_t c = first_cell % k.cols;
+  for (std::size_t lane = 0; lane < block.size; ++lane) {
+    simd_detail::yield_solve_lane(k, rl[lane], rh[lane], dl[lane], dh[lane],
+                                  ra[lane], c, out_rows, lane, ml, mh);
+    if (++c == k.cols) c = 0;
+  }
+  *max_low = ml;
+  *min_high = mh;
+}
+
+void tail_margins_scalar(const TailKernelTables& k, const GaussianBlock& block,
+                         double* out) {
+  const double* z0 = block.axis(0);
+  const double* z1 = block.axis(1);
+  const double* z2 = block.axis(2);
+  const double* z3 = block.axis(3);
+  const double* z4 = block.axis(4);
+  for (std::size_t lane = 0; lane < block.size; ++lane) {
+    out[lane] = simd_detail::tail_margin_lane(k, z0[lane], z1[lane], z2[lane],
+                                              z3[lane], z4[lane]);
+  }
+}
+
+/// Walks the ISA ladder down from `isa` to the widest compiled-in table.
+SenseSimdKernels resolve_sense_kernels(SimdIsa isa) {
+  const SenseSimdKernels* t = nullptr;
+  switch (isa) {
+    case SimdIsa::kAvx512:
+      t = sense_simd_kernels_w8();
+      if (t != nullptr) break;
+      [[fallthrough]];
+    case SimdIsa::kAvx2:
+      t = sense_simd_kernels_w4();
+      if (t != nullptr) break;
+      [[fallthrough]];
+    case SimdIsa::kSse2:
+    case SimdIsa::kNeon:
+      t = sense_simd_kernels_w2();
+      break;
+    case SimdIsa::kScalar:
+      break;
+  }
+  if (t != nullptr) return *t;
+  SenseSimdKernels scalar;
+  scalar.yield_solve = &yield_solve_scalar;
+  scalar.tail_margins = &tail_margins_scalar;
+  return scalar;
 }
 
 }  // namespace
@@ -92,93 +155,37 @@ YieldBatchKernel YieldBatchKernel::build(const YieldKernelInputs& in) {
   require(in.i_droop_ref > 0.0 && in.beta_destructive > 0.0 &&
               in.beta_nondestructive > 0.0,
           "YieldBatchKernel: operating points must be resolved (> 0)");
-  YieldBatchKernel k;
-  k.i_max_ = in.selfref.i_max.value();
-  k.frac2_ = std::min(std::fabs(k.i_max_) / in.i_droop_ref, 1.5);
-  k.cols_ = cols;
-  k.v_ref_conv_.resize(cols);
-  k.r_ref_p2_.resize(cols);
-  k.r_ref_ap2_.resize(cols);
-  k.i1_d_.resize(cols);
-  k.frac1_d_.resize(cols);
-  k.i1_n_.resize(cols);
-  k.frac1_n_.resize(cols);
-  k.alpha_eff_.resize(cols);
+  YieldBatchKernel kernel;
+  YieldKernelTables& k = kernel.tables_;
+  k.i_max = in.selfref.i_max.value();
+  k.frac2 = std::min(std::fabs(k.i_max) / in.i_droop_ref, 1.5);
+  k.cols = cols;
+  k.v_ref_conv.resize(cols);
+  k.r_ref_p2.resize(cols);
+  k.r_ref_ap2.resize(cols);
+  k.i1_d.resize(cols);
+  k.frac1_d.resize(cols);
+  k.i1_n.resize(cols);
+  k.frac1_n.resize(cols);
+  k.alpha_eff.resize(cols);
   for (std::size_t c = 0; c < cols; ++c) {
-    k.v_ref_conv_[c] = in.shared_v_ref.value() + in.col_vref_err[c];
+    k.v_ref_conv[c] = in.shared_v_ref.value() + in.col_vref_err[c];
     const MtjParams& rp = in.col_ref_p[c];
     const MtjParams& rap = in.col_ref_ap[c];
-    k.r_ref_p2_[c] = rp.r_low0.value() - rp.droop_low.value() * k.frac2_;
-    k.r_ref_ap2_[c] = rap.r_high0.value() - rap.droop_high.value() * k.frac2_;
+    k.r_ref_p2[c] = rp.r_low0.value() - rp.droop_low.value() * k.frac2;
+    k.r_ref_ap2[c] = rap.r_high0.value() - rap.droop_high.value() * k.frac2;
     const double beta_eff_d =
         in.beta_destructive * (1.0 + in.col_beta_dev[c]);
-    k.i1_d_[c] = k.i_max_ / beta_eff_d;
-    k.frac1_d_[c] = std::min(std::fabs(k.i1_d_[c]) / in.i_droop_ref, 1.5);
+    k.i1_d[c] = k.i_max / beta_eff_d;
+    k.frac1_d[c] = std::min(std::fabs(k.i1_d[c]) / in.i_droop_ref, 1.5);
     const double beta_eff_n =
         in.beta_nondestructive * (1.0 + in.col_beta_dev[c]);
-    k.i1_n_[c] = k.i_max_ / beta_eff_n;
-    k.frac1_n_[c] = std::min(std::fabs(k.i1_n_[c]) / in.i_droop_ref, 1.5);
-    k.alpha_eff_[c] = in.selfref.alpha * (1.0 + in.col_alpha_dev[c]);
+    k.i1_n[c] = k.i_max / beta_eff_n;
+    k.frac1_n[c] = std::min(std::fabs(k.i1_n[c]) / in.i_droop_ref, 1.5);
+    k.alpha_eff[c] = in.selfref.alpha * (1.0 + in.col_alpha_dev[c]);
   }
-  return k;
-}
-
-void YieldBatchKernel::solve(const VariationBlock& block,
-                             std::size_t first_cell,
-                             std::array<SenseMargins, 4>* out,
-                             double* max_low, double* min_high) const {
-  const double* rl = block.r_low0.data();
-  const double* rh = block.r_high0.data();
-  const double* dl = block.droop_low.data();
-  const double* dh = block.droop_high.data();
-  const double* ra = block.r_access.data();
-  double ml = *max_low;
-  double mh = *min_high;
-  std::size_t c = first_cell % cols_;
-  for (std::size_t lane = 0; lane < block.size; ++lane) {
-    const double r_t = ra[lane];
-    // Second-read (I2 = I_max) path resistances and bit-line voltages —
-    // shared by all four schemes.
-    const double r_p2 = rl[lane] - dl[lane] * frac2_;
-    const double r_ap2 = rh[lane] - dh[lane] * frac2_;
-    const double v_p2 = i_max_ * (r_p2 + r_t);
-    const double v_ap2 = i_max_ * (r_ap2 + r_t);
-    ml = std::max(ml, v_p2);
-    mh = std::min(mh, v_ap2);
-    std::array<SenseMargins, 4>& m = out[lane];
-    // Conventional sensing against the shared V_REF (+ column error).
-    m[0].sm0 = Volt(v_ref_conv_[c] - v_p2);
-    m[0].sm1 = Volt(v_ap2 - v_ref_conv_[c]);
-    // Reference-cell sensing: the column pair's midpoint sees the same
-    // per-cell access device as the data read.
-    const double v_rp = i_max_ * (r_ref_p2_[c] + r_t);
-    const double v_rap = i_max_ * (r_ref_ap2_[c] + r_t);
-    const double v_ref_rc = 0.5 * (v_rp + v_rap);
-    m[1].sm0 = Volt(v_ref_rc - v_p2);
-    m[1].sm1 = Volt(v_ap2 - v_ref_rc);
-    // Destructive self-reference: the erased-cell second read IS v_p2.
-    {
-      const double i1 = i1_d_[c];
-      const double f1 = frac1_d_[c];
-      const double r_p1 = rl[lane] - dl[lane] * f1;
-      const double r_ap1 = rh[lane] - dh[lane] * f1;
-      m[2].sm1 = Volt(i1 * (r_ap1 + r_t) - v_p2);
-      m[2].sm0 = Volt(v_p2 - i1 * (r_p1 + r_t));
-    }
-    // Nondestructive self-reference: first read vs divided second read.
-    {
-      const double i1 = i1_n_[c];
-      const double f1 = frac1_n_[c];
-      const double r_p1 = rl[lane] - dl[lane] * f1;
-      const double r_ap1 = rh[lane] - dh[lane] * f1;
-      const double ae = alpha_eff_[c];
-      m[3].sm1 = Volt(i1 * (r_ap1 + r_t) - ae * v_ap2);
-      m[3].sm0 = Volt(ae * v_p2 - i1 * (r_p1 + r_t));
-    }
-    if (++c == cols_) c = 0;
-  }
-  *max_low = ml;
-  *min_high = mh;
+  kernel.fn_ = resolve_sense_kernels(active_simd_isa()).yield_solve;
+  return kernel;
 }
 
 // --------------------------------------------------------- TailBatchKernel
@@ -188,56 +195,25 @@ TailBatchKernel TailBatchKernel::build(const TailKernelConfig& config) {
           "TailBatchKernel: beta must be resolved before building");
   require(config.nominal.i_droop_ref.value() > 0.0,
           "TailBatchKernel: i_droop_ref must be > 0");
-  TailBatchKernel k;
-  k.cfg_ = config;
-  k.i_max_ = config.selfref.i_max.value();
-  k.frac2_ = std::min(
-      std::fabs(k.i_max_) / config.nominal.i_droop_ref.value(), 1.5);
-  k.excess0_base_ =
-      (config.nominal.r_high0 - config.nominal.r_low0).value();
-  k.excess_droop_base_ =
+  TailBatchKernel kernel;
+  TailKernelTables& k = kernel.tables_;
+  k.sigma_common = config.sigma_common;
+  k.sigma_tmr = config.sigma_tmr;
+  k.sigma_access = config.sigma_access;
+  k.sigma_beta = config.sigma_beta;
+  k.sigma_alpha = config.sigma_alpha;
+  k.alpha = config.selfref.alpha;
+  k.beta = config.beta;
+  k.r_low0 = config.nominal.r_low0.value();
+  k.droop_low = config.nominal.droop_low.value();
+  k.idr = config.nominal.i_droop_ref.value();
+  k.i_max = config.selfref.i_max.value();
+  k.frac2 = std::min(std::fabs(k.i_max) / k.idr, 1.5);
+  k.excess0_base = (config.nominal.r_high0 - config.nominal.r_low0).value();
+  k.excess_droop_base =
       (config.nominal.droop_high - config.nominal.droop_low).value();
-  return k;
-}
-
-void TailBatchKernel::margins_min(const GaussianBlock& block,
-                                  double* out) const {
-  require(block.dim == 5, "TailBatchKernel: expected 5 variation axes");
-  const double* z0 = block.axis(0);
-  const double* z1 = block.axis(1);
-  const double* z2 = block.axis(2);
-  const double* z3 = block.axis(3);
-  const double* z4 = block.axis(4);
-  const double r_low0 = cfg_.nominal.r_low0.value();
-  const double droop_low = cfg_.nominal.droop_low.value();
-  const double idr = cfg_.nominal.i_droop_ref.value();
-  for (std::size_t lane = 0; lane < block.size; ++lane) {
-    // MtjParams::scaled(common, tmr) on the nominal device, unfolded.
-    const double common = std::exp(cfg_.sigma_common * z0[lane]);
-    const double tmr = std::exp(cfg_.sigma_tmr * z1[lane]);
-    const double excess0 = excess0_base_ * tmr;
-    const double excess_droop = excess_droop_base_ * tmr;
-    const double r_l0 = r_low0 * common;
-    const double r_h0 = (r_low0 + excess0) * common;
-    const double d_l = droop_low * common;
-    const double d_h = (droop_low + excess_droop) * common;
-    const double r_t =
-        r_access_nominal_ * std::exp(cfg_.sigma_access * z2[lane]);
-    const double beta_eff = cfg_.beta * (1.0 + cfg_.sigma_beta * z3[lane]);
-    const double alpha_eff =
-        cfg_.selfref.alpha * (1.0 + cfg_.sigma_alpha * z4[lane]);
-    const double i1 = i_max_ / beta_eff;
-    const double frac1 = std::min(std::fabs(i1) / idr, 1.5);
-    const double r_p1 = r_l0 - d_l * frac1;
-    const double r_ap1 = r_h0 - d_h * frac1;
-    const double r_p2 = r_l0 - d_l * frac2_;
-    const double r_ap2 = r_h0 - d_h * frac2_;
-    const double sm1 =
-        i1 * (r_ap1 + r_t) - alpha_eff * (i_max_ * (r_ap2 + r_t));
-    const double sm0 =
-        alpha_eff * (i_max_ * (r_p2 + r_t)) - i1 * (r_p1 + r_t);
-    out[lane] = std::min(sm0, sm1);
-  }
+  kernel.fn_ = resolve_sense_kernels(active_simd_isa()).tail_margins;
+  return kernel;
 }
 
 }  // namespace sttram

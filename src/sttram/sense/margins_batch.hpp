@@ -4,8 +4,8 @@
 // The scalar classes in margins.hpp build heap-allocated model objects
 // per evaluation; these kernels precompute everything that is constant
 // per experiment (or per column) once and then run straight-line
-// arithmetic over a VariationBlock — contiguous doubles the compiler can
-// vectorize across lanes.
+// arithmetic over a VariationBlock — contiguous doubles a SIMD kernel
+// can sweep lane-parallel.
 //
 // Bit-identity: every per-lane expression below is the scalar class's
 // expression with per-experiment subterms folded into precomputed
@@ -13,14 +13,20 @@
 // association, libm calls hit the same functions on the same inputs, and
 // `x + Ohm(0.0)` no-ops (the scalar path's unused delta_r_t / extra_r
 // hooks) are dropped, which is exact in IEEE-754 for every x except
-// -0.0 (whose value is unchanged).  test_mc_batch.cpp holds the
-// differential proof across schemes, corners, and thread counts.
+// -0.0 (whose value is unchanged).  The solve itself dispatches on
+// active_simd_isa() to a per-width instantiation of the same template
+// (margins_batch_simd.hpp); every vector op is correctly rounded and
+// lane-parallel, so each ISA reproduces the scalar loop bitwise.
+// test_mc_batch.cpp holds the differential proof across schemes,
+// corners, thread counts, and every host-supported ISA.
 #pragma once
 
 #include <array>
 #include <cstddef>
 #include <vector>
 
+#include "sttram/common/error.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/common/units.hpp"
 #include "sttram/device/mtj_params.hpp"
 #include "sttram/sense/margins.hpp"
@@ -58,6 +64,59 @@ struct YieldKernelInputs {
   std::vector<MtjParams> col_ref_ap;
 };
 
+/// Precomputed constants the yield solve reads: globals plus per-column
+/// tables (contiguous so a W-lane kernel loads W consecutive columns with
+/// one vector load).  Public so the per-ISA kernel instantiations can
+/// consume it directly.
+struct YieldKernelTables {
+  double i_max = 0.0;
+  double frac2 = 0.0;  ///< min(I2 / I_ref, 1.5), global constant
+  std::size_t cols = 0;
+  aligned_vector<double> v_ref_conv;  ///< shared V_REF + column error
+  aligned_vector<double> r_ref_p2;    ///< reference-pair R at I2
+  aligned_vector<double> r_ref_ap2;
+  aligned_vector<double> i1_d;        ///< destructive I1 = I2 / beta_eff
+  aligned_vector<double> frac1_d;
+  aligned_vector<double> i1_n;        ///< nondestructive I1
+  aligned_vector<double> frac1_n;
+  aligned_vector<double> alpha_eff;   ///< alpha * (1 + alpha_deviation)
+};
+
+/// SoA margin storage for the yield sweep: row r holds output r (scheme
+/// s, bit b at r = 2*s + b; scheme order conventional, reference-cell,
+/// destructive, nondestructive) contiguous across cells, so a W-lane
+/// kernel retires each output with one contiguous vector store instead
+/// of an 8x8 in-register transpose.
+struct YieldMarginsSoA {
+  std::size_t cells = 0;
+  std::array<aligned_vector<double>, 8> rows;
+
+  void resize(std::size_t n) {
+    cells = n;
+    for (auto& r : rows) r.resize(n);
+  }
+  [[nodiscard]] double* row(std::size_t r) { return rows[r].data(); }
+  [[nodiscard]] const double* row(std::size_t r) const {
+    return rows[r].data();
+  }
+  /// The four schemes' margins of one cell, in record order.
+  [[nodiscard]] std::array<SenseMargins, 4> cell(std::size_t i) const {
+    std::array<SenseMargins, 4> m;
+    for (std::size_t s = 0; s < 4; ++s) {
+      m[s].sm0 = Volt(rows[2 * s][i]);
+      m[s].sm1 = Volt(rows[2 * s + 1][i]);
+    }
+    return m;
+  }
+};
+
+/// Signature of a yield-solve kernel instantiation.  `out_rows` holds the
+/// 8 output-row pointers, already offset to lane 0 of this block.
+using YieldSolveFn = void (*)(const YieldKernelTables&, const VariationBlock&,
+                              std::size_t first_cell,
+                              double* const* out_rows, double* max_low,
+                              double* min_high);
+
 /// Four-scheme margin solve over a block of sampled cells.  One lane =
 /// one cell; the column index advances with the (row-major) cell index.
 class YieldBatchKernel {
@@ -65,30 +124,26 @@ class YieldBatchKernel {
   static YieldBatchKernel build(const YieldKernelInputs& in);
 
   /// Solves lanes [0, block.size) for cells starting at row-major index
-  /// `first_cell`.  Writes margins for the four schemes (conventional,
-  /// reference-cell, destructive, nondestructive — the record order of
-  /// sim/yield) to `out[lane]`, and folds each lane's second-read
+  /// `first_cell`.  Writes margins for the four schemes to
+  /// `out->row(r)[first_cell + lane]`, and folds each lane's second-read
   /// bit-line voltages into the running shared-reference window bounds
   /// `*max_low` / `*min_high`.
   void solve(const VariationBlock& block, std::size_t first_cell,
-             std::array<SenseMargins, 4>* out, double* max_low,
-             double* min_high) const;
+             YieldMarginsSoA* out, double* max_low, double* min_high) const {
+    require(first_cell + block.size <= out->cells,
+            "YieldBatchKernel: block exceeds the margin frame");
+    double* out_rows[8];
+    for (std::size_t r = 0; r < 8; ++r) {
+      out_rows[r] = out->row(r) + first_cell;
+    }
+    fn_(tables_, block, first_cell, out_rows, max_low, min_high);
+  }
 
-  [[nodiscard]] std::size_t cols() const { return cols_; }
+  [[nodiscard]] std::size_t cols() const { return tables_.cols; }
 
  private:
-  double i_max_ = 0.0;
-  double frac2_ = 0.0;  ///< min(I2 / I_ref, 1.5), global constant
-  std::size_t cols_ = 0;
-  // Per-column tables (everything that depends only on the column draw).
-  std::vector<double> v_ref_conv_;  ///< shared V_REF + column error
-  std::vector<double> r_ref_p2_;    ///< reference-pair R at I2
-  std::vector<double> r_ref_ap2_;
-  std::vector<double> i1_d_;        ///< destructive I1 = I2 / beta_eff
-  std::vector<double> frac1_d_;
-  std::vector<double> i1_n_;        ///< nondestructive I1
-  std::vector<double> frac1_n_;
-  std::vector<double> alpha_eff_;   ///< alpha * (1 + alpha_deviation)
+  YieldKernelTables tables_;
+  YieldSolveFn fn_ = nullptr;  ///< resolved from active_simd_isa()
 };
 
 /// Per-experiment constants of the tail kernel (sim/tail's variation
@@ -104,6 +159,30 @@ struct TailKernelConfig {
   double beta = 0.0;  ///< resolved designed ratio (> 0)
 };
 
+/// Flattened constants the tail kernel reads per lane (public for the
+/// per-ISA instantiations, like YieldKernelTables).
+struct TailKernelTables {
+  double sigma_common = 0.0;
+  double sigma_tmr = 0.0;
+  double sigma_access = 0.0;
+  double sigma_beta = 0.0;
+  double sigma_alpha = 0.0;
+  double alpha = 0.0;
+  double beta = 0.0;
+  double r_low0 = 0.0;
+  double droop_low = 0.0;
+  double idr = 0.0;  ///< i_droop_ref
+  double r_access_nominal = 917.0;
+  double i_max = 0.0;
+  double frac2 = 0.0;
+  double excess0_base = 0.0;       ///< r_high0 - r_low0
+  double excess_droop_base = 0.0;  ///< droop_high - droop_low
+};
+
+/// Signature of a tail margins-min kernel instantiation.
+using TailMarginsFn = void (*)(const TailKernelTables&, const GaussianBlock&,
+                               double* out);
+
 /// Batched nondestructive_margin_at: min(SM0, SM1) of the nondestructive
 /// scheme for every lane of a GaussianBlock of variation coordinates
 /// z = (common, tmr, access, beta driver, divider alpha).
@@ -112,15 +191,14 @@ class TailBatchKernel {
   static TailBatchKernel build(const TailKernelConfig& config);
 
   /// Writes min-margin [V] per lane to `out[0..block.size)`.
-  void margins_min(const GaussianBlock& block, double* out) const;
+  void margins_min(const GaussianBlock& block, double* out) const {
+    require(block.dim == 5, "TailBatchKernel: expected 5 variation axes");
+    fn_(tables_, block, out);
+  }
 
  private:
-  TailKernelConfig cfg_;
-  double r_access_nominal_ = 917.0;
-  double i_max_ = 0.0;
-  double frac2_ = 0.0;
-  double excess0_base_ = 0.0;      ///< r_high0 - r_low0
-  double excess_droop_base_ = 0.0; ///< droop_high - droop_low
+  TailKernelTables tables_;
+  TailMarginsFn fn_ = nullptr;  ///< resolved from active_simd_isa()
 };
 
 }  // namespace sttram

@@ -1,0 +1,20 @@
+// 2-lane sense kernels: the baseline vector width (SSE2 on x86-64, NEON
+// on aarch64).  Compiled with no extra -m flags, but with
+// -ffp-contract=off -fno-math-errno like every SIMD kernel TU.
+#include "sttram/sense/margins_batch_simd.hpp"
+
+namespace sttram {
+
+const SenseSimdKernels* sense_simd_kernels_w2() {
+#if defined(__x86_64__) || defined(__aarch64__)
+  static const SenseSimdKernels kTable{
+      &simd_detail::yield_solve_simd<2>,
+      &simd_detail::tail_margins_simd<2>,
+  };
+  return &kTable;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sttram

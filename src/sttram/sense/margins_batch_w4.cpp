@@ -1,0 +1,20 @@
+// 4-lane sense kernels, compiled with -mavx2 (plus -ffp-contract=off so
+// no mul+add fuses into an FMA — contraction would change rounding and
+// break bit-identity with the scalar path).
+#include "sttram/sense/margins_batch_simd.hpp"
+
+namespace sttram {
+
+const SenseSimdKernels* sense_simd_kernels_w4() {
+#if defined(__x86_64__)
+  static const SenseSimdKernels kTable{
+      &simd_detail::yield_solve_simd<4>,
+      &simd_detail::tail_margins_simd<4>,
+  };
+  return &kTable;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sttram

@@ -52,6 +52,23 @@ void record_all(YieldResult& result,
   }
 }
 
+/// SoA variant for the batched path: same per-cell record order, reading
+/// the kernel's margin rows (same doubles, different layout).
+void record_all(YieldResult& result, const YieldMarginsSoA& frame,
+                const YieldConfig& config, std::size_t keep_every) {
+  for (std::size_t i = 0; i < frame.cells; ++i) {
+    const std::array<SenseMargins, 4> margins = frame.cell(i);
+    record(result.conventional, margins[0], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+    record(result.reference_cell, margins[1], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+    record(result.destructive, margins[2], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+    record(result.nondestructive, margins[3], config.required_margin,
+           keep_every, config.keep_per_bit_margins);
+  }
+}
+
 std::size_t scatter_keep_every(const YieldConfig& config, std::size_t cells) {
   return (config.max_scatter_points == 0 ||
           cells <= config.max_scatter_points)
@@ -255,7 +272,8 @@ YieldResult run_yield_batched(const YieldConfig& config,
   // private window partials; the window merge and the record pass run
   // serially in index order, so any thread count is bit-identical.
   const Xoshiro256 cell_master(config.seed);
-  std::vector<std::array<SenseMargins, 4>> cell_margins(cells);
+  YieldMarginsSoA cell_margins;
+  cell_margins.resize(cells);
   const bool parallel =
       executor != nullptr && executor->thread_count() > 1;
   const std::size_t chunks = parallel ? executor->thread_count() : 1;
@@ -280,7 +298,7 @@ YieldResult run_yield_batched(const YieldConfig& config,
       sample_variation_block(cell_master, variation,
                              r_access_nominal.value(), config.sigma_access,
                              b, count, block);
-      kernel.solve(block, b, cell_margins.data() + b, &max_low, &min_high);
+      kernel.solve(block, b, &cell_margins, &max_low, &min_high);
       if (block_hist != nullptr) {
         block_hist->record(std::chrono::duration<double>(
                                std::chrono::steady_clock::now() - t0)

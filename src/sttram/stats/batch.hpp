@@ -6,13 +6,20 @@
 // re-stage the same work as: sample a block of trials into SoA arrays,
 // run a closed-form kernel over all lanes (straight-line arithmetic on
 // contiguous doubles), reduce.  A block of 64 trials keeps every array
-// of this header inside L1.
+// of this header inside L1, and every row starts on a 64-byte boundary
+// so the SIMD kernels (common/simd.hpp) stream it with aligned loads.
 //
 // Bit-identity contract: a lane's samples come from exactly the stream
 // the scalar path would fork for that trial index (`master.fork(first +
 // lane)`), drawn in exactly the scalar draw order — so the SoA arrays
 // hold the *same doubles* the scalar path consumed, and any batch
-// split of [0, trials) produces identical values lane by lane.
+// split of [0, trials) produces identical values lane by lane.  The
+// Gaussian fills below vectorize only the polar sampler's value tail
+// (batch_simd.hpp); the rejection draws stay scalar per lane.
+//
+// (Sampling *device* variation into a VariationBlock lives in
+// device/variation.hpp — the distribution parameters are the device
+// layer's, and stats must not depend on device.)
 #pragma once
 
 #include <array>
@@ -20,9 +27,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "sttram/common/error.hpp"
-#include "sttram/device/variation.hpp"
-#include "sttram/stats/distributions.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/stats/rng.hpp"
 
 namespace sttram {
@@ -36,36 +41,12 @@ inline constexpr std::size_t kMcBlockSize = 64;
 /// R-I law parameters plus the access-device resistance.
 struct VariationBlock {
   std::size_t size = 0;  ///< valid lanes (<= kMcBlockSize)
-  std::array<double, kMcBlockSize> r_low0;
-  std::array<double, kMcBlockSize> r_high0;
-  std::array<double, kMcBlockSize> droop_low;
-  std::array<double, kMcBlockSize> droop_high;
-  std::array<double, kMcBlockSize> r_access;
+  alignas(64) std::array<double, kMcBlockSize> r_low0;
+  alignas(64) std::array<double, kMcBlockSize> r_high0;
+  alignas(64) std::array<double, kMcBlockSize> droop_low;
+  alignas(64) std::array<double, kMcBlockSize> droop_high;
+  alignas(64) std::array<double, kMcBlockSize> r_access;
 };
-
-/// Samples lanes [first, first + count) of the cell population into
-/// `out`, replicating MemoryArray's per-cell draw sequence exactly:
-/// fork the cell's stream, draw the MTJ variation, then the lognormal
-/// access-device factor around `r_access_nominal`.
-inline void sample_variation_block(const Xoshiro256& master,
-                                   const MtjVariationModel& variation,
-                                   double r_access_nominal,
-                                   double sigma_access, std::size_t first,
-                                   std::size_t count, VariationBlock& out) {
-  require(count <= kMcBlockSize,
-          "sample_variation_block: count exceeds kMcBlockSize");
-  out.size = count;
-  for (std::size_t lane = 0; lane < count; ++lane) {
-    Xoshiro256 stream = master.fork(first + lane);
-    const MtjParams p = variation.sample(stream);
-    out.r_low0[lane] = p.r_low0.value();
-    out.r_high0[lane] = p.r_high0.value();
-    out.droop_low[lane] = p.droop_low.value();
-    out.droop_high[lane] = p.droop_high.value();
-    out.r_access[lane] =
-        sample_lognormal_median(stream, r_access_nominal, sigma_access);
-  }
-}
 
 /// One block of shifted standard-normal draws for importance sampling,
 /// dimension-major (`z[d * capacity + lane]`) so a kernel sweeping one
@@ -73,14 +54,16 @@ inline void sample_variation_block(const Xoshiro256& master,
 /// the likelihood-ratio accumulator `shift . z` the weight needs.
 struct GaussianBlock {
   std::size_t dim = 0;
-  std::size_t size = 0;      ///< valid lanes
-  std::size_t capacity = 0;  ///< lane stride of `z`
-  std::vector<double> z;     ///< dim x capacity, dimension-major
-  std::vector<double> dot;   ///< shift . z per lane
+  std::size_t size = 0;        ///< valid lanes
+  std::size_t capacity = 0;    ///< lane stride of `z` (multiple of 8)
+  aligned_vector<double> z;    ///< dim x capacity, dimension-major
+  aligned_vector<double> dot;  ///< shift . z per lane
 
+  /// Rounds the lane stride up to a multiple of 8 so every axis row
+  /// starts 64-byte aligned.
   void reset(std::size_t new_dim, std::size_t new_capacity) {
     dim = new_dim;
-    capacity = new_capacity;
+    capacity = (new_capacity + 7) / 8 * 8;
     size = 0;
     z.assign(dim * capacity, 0.0);
     dot.assign(capacity, 0.0);
@@ -95,28 +78,28 @@ struct GaussianBlock {
   }
 };
 
+/// Runs the Marsaglia polar rejection loop of sample_standard_normal
+/// (consuming exactly the same rng draws) but stops before the value
+/// tail: stores the accepted (u, s) pair instead of returning
+/// u * sqrt(-2 log(s) / s).  Staging building block for the batched
+/// Gaussian fills here and in device/variation.hpp.
+void stage_polar_pair(Xoshiro256& rng, double* u_out, double* s_out);
+
+/// Value tail over staged rows: out[i] = u[i] * sqrt(-2 log(s[i]) / s[i]),
+/// bit-identical per lane to sample_standard_normal's return.  The
+/// caller supplies t[i] = std::log(s[i]) (scalar libm stays outside the
+/// vector kernel).  Dispatches on active_simd_isa().
+void polar_tail(const double* u, const double* s, const double* t,
+                std::size_t n, double* out);
+
 /// Fills lanes [first, first + count) of the shifted proposal
 /// N(shift, I)^dim into `out`, replicating importance_sample's per-trial
 /// draw order exactly (fork trial stream; per dimension: draw, shift,
 /// accumulate the dot product).  `out` must have been reset() with
 /// capacity >= count and matching dim.
-inline void fill_shifted_gaussian_block(const Xoshiro256& master,
-                                        const std::vector<double>& shift,
-                                        std::size_t first, std::size_t count,
-                                        GaussianBlock& out) {
-  require(out.dim == shift.size() && out.capacity >= count,
-          "fill_shifted_gaussian_block: block not sized for this fill");
-  out.size = count;
-  for (std::size_t lane = 0; lane < count; ++lane) {
-    Xoshiro256 stream = master.fork(first + lane);
-    double dot = 0.0;
-    for (std::size_t d = 0; d < out.dim; ++d) {
-      const double zi = shift[d] + sample_standard_normal(stream);
-      out.z[d * out.capacity + lane] = zi;
-      dot += shift[d] * zi;
-    }
-    out.dot[lane] = dot;
-  }
-}
+void fill_shifted_gaussian_block(const Xoshiro256& master,
+                                 const std::vector<double>& shift,
+                                 std::size_t first, std::size_t count,
+                                 GaussianBlock& out);
 
 }  // namespace sttram

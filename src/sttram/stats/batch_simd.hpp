@@ -1,0 +1,89 @@
+// Per-width instantiations of the Gaussian-fill vector tails
+// (stats/batch.cpp dispatches on active_simd_isa()).
+//
+// The Marsaglia polar sampler splits into three stages: (1) the rejection
+// loop, which consumes the rng stream and must stay scalar per lane to
+// preserve draw order; (2) log(s), a transcendental that stays a scalar
+// libm call per lane (vector math libs are not correctly rounded); and
+// (3) the value tail n = u * sqrt(-2*log(s)/s), which is pure correctly
+// rounded arithmetic and vectorizes bit-identically.  These templates
+// implement stage 3 — given staged u, s and t = log(s) rows — plus the
+// fused importance-sampling axis fill z = shift + n, dot += shift * z.
+//
+// Instantiated only in batch_w{2,4,8}.cpp, compiled with the matching
+// -m flags and -ffp-contract=off (see DESIGN.md §15).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+
+#include "sttram/common/simd.hpp"
+
+namespace sttram {
+
+/// n[i] = u[i] * sqrt(-2 * t[i] / s[i]) with t = log(s) staged upstream.
+using PolarTailFn = void (*)(const double* u, const double* s,
+                             const double* t, std::size_t n, double* out);
+
+/// Fused shifted-axis fill: z[i] = shift + n[i]; dot[i] += shift * z[i].
+using GaussianAxisFn = void (*)(const double* u, const double* s,
+                                const double* t, double shift,
+                                std::size_t n, double* z_row, double* dot);
+
+struct StatsSimdKernels {
+  PolarTailFn polar_tail = nullptr;
+  GaussianAxisFn gaussian_axis = nullptr;
+};
+
+/// nullptr when the width is not compiled in on this target.
+const StatsSimdKernels* stats_simd_kernels_w2();
+const StatsSimdKernels* stats_simd_kernels_w4();
+const StatsSimdKernels* stats_simd_kernels_w8();
+
+namespace simd_detail {
+
+/// The scalar polar tail — exactly sample_standard_normal's return
+/// expression `u * std::sqrt(-2.0 * std::log(s) / s)` with log(s)
+/// precomputed (tail lanes and the kScalar targets share it).
+inline double polar_tail_lane(double u, double s, double t) {
+  return u * std::sqrt(-2.0 * t / s);
+}
+
+template <int W>
+void polar_tail_simd(const double* u, const double* s, const double* t,
+                     std::size_t n, double* out) {
+  using V = simd::Vec<W>;
+  const V m2 = V::splat(-2.0);
+  std::size_t k = 0;
+  for (; k + W <= n; k += W) {
+    const V vs = V::load(s + k);
+    const V vn = V::load(u + k) * vsqrt(m2 * V::load(t + k) / vs);
+    vn.store(out + k);
+  }
+  for (; k < n; ++k) out[k] = polar_tail_lane(u[k], s[k], t[k]);
+}
+
+template <int W>
+void gaussian_axis_simd(const double* u, const double* s, const double* t,
+                        double shift, std::size_t n, double* z_row,
+                        double* dot) {
+  using V = simd::Vec<W>;
+  const V m2 = V::splat(-2.0);
+  const V vshift = V::splat(shift);
+  std::size_t k = 0;
+  for (; k + W <= n; k += W) {
+    const V vs = V::load(s + k);
+    const V vn = V::load(u + k) * vsqrt(m2 * V::load(t + k) / vs);
+    const V z = vshift + vn;
+    z.store(z_row + k);
+    (V::load(dot + k) + vshift * z).store(dot + k);
+  }
+  for (; k < n; ++k) {
+    const double zi = shift + polar_tail_lane(u[k], s[k], t[k]);
+    z_row[k] = zi;
+    dot[k] += shift * zi;
+  }
+}
+
+}  // namespace simd_detail
+}  // namespace sttram

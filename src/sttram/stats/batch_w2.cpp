@@ -1,0 +1,18 @@
+// Width-2 Gaussian tails: SSE2 on x86-64, NEON on aarch64 (both baseline
+// ISAs, so no extra -m flags — just -ffp-contract=off -fno-math-errno).
+#include "sttram/stats/batch_simd.hpp"
+
+namespace sttram {
+
+const StatsSimdKernels* stats_simd_kernels_w2() {
+#if defined(__x86_64__) || defined(__aarch64__)
+  static const StatsSimdKernels kernels{
+      &simd_detail::polar_tail_simd<2>,
+      &simd_detail::gaussian_axis_simd<2>};
+  return &kernels;
+#else
+  return nullptr;
+#endif
+}
+
+}  // namespace sttram

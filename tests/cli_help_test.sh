@@ -61,6 +61,15 @@ for flag in --controller --channels --ranks --banks --scheduler; do
   fi
 done
 
+# The SIMD override must be discoverable: both the --simd flag and its
+# STTRAM_SIMD environment twin belong in the one help text.
+for token in --simd STTRAM_SIMD; do
+  if ! grep -q -- "$token" "$workdir/h.txt"; then
+    echo "FAIL: '$token' missing from --help" >&2
+    status=1
+  fi
+done
+
 # Usage errors must exit 2 (not 0, not a crash).
 expect_exit2() {
   rc=0
@@ -76,6 +85,11 @@ expect_exit2 "$cli" campaign
 expect_exit2 "$cli" campaign run --bogus-flag
 expect_exit2 "$cli" campaign run
 expect_exit2 "$cli" campaign verify /nonexistent.json
+
+# An unknown SIMD ISA is a usage error whether it arrives by flag or by
+# environment variable — both must refuse with status 2.
+expect_exit2 "$cli" --simd bogus stats
+expect_exit2 env STTRAM_SIMD=bogus "$cli" stats
 
 count="$(echo "$flags" | wc -l)"
 [ "$status" -eq 0 ] && echo "OK: help texts identical, $count flags documented, usage errors exit 2"

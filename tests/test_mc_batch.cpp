@@ -8,6 +8,8 @@
 #include <vector>
 
 #include "sttram/cell/array.hpp"
+#include "sttram/common/error.hpp"
+#include "sttram/common/simd.hpp"
 #include "sttram/device/op_cache.hpp"
 #include "sttram/device/ri_curve.hpp"
 #include "sttram/engine/thread_pool.hpp"
@@ -348,6 +350,110 @@ TEST(McBatchObs, MetricsOnVsOffBitIdentityAndCounters) {
     }
   }
   EXPECT_TRUE(saw_hist);
+}
+
+// ---------------------------------------------------- forced-ISA matrix
+
+/// RAII ISA pin: a failing EXPECT inside a forced section must not leak
+/// the override into the remaining tests.
+class ScopedSimdIsa {
+ public:
+  explicit ScopedSimdIsa(SimdIsa isa) { set_simd_isa_override(isa); }
+  ~ScopedSimdIsa() { clear_simd_isa_override(); }
+  ScopedSimdIsa(const ScopedSimdIsa&) = delete;
+  ScopedSimdIsa& operator=(const ScopedSimdIsa&) = delete;
+};
+
+TEST(McSimd, ParseAndOverrideValidation) {
+  SimdIsa isa = SimdIsa::kAvx512;
+  bool is_auto = false;
+  ASSERT_TRUE(parse_simd_isa("auto", &isa, &is_auto));
+  EXPECT_TRUE(is_auto);
+  EXPECT_EQ(isa, SimdIsa::kAvx512);  // "auto" leaves *out untouched
+  const struct {
+    const char* token;
+    SimdIsa want;
+  } cases[] = {{"scalar", SimdIsa::kScalar}, {"sse2", SimdIsa::kSse2},
+               {"neon", SimdIsa::kNeon},     {"avx2", SimdIsa::kAvx2},
+               {"avx512", SimdIsa::kAvx512}};
+  for (const auto& c : cases) {
+    ASSERT_TRUE(parse_simd_isa(c.token, &isa, &is_auto)) << c.token;
+    EXPECT_FALSE(is_auto) << c.token;
+    EXPECT_EQ(isa, c.want) << c.token;
+  }
+  for (const char* bad : {"bogus", "", "AVX2", "sse", "avx-512"}) {
+    EXPECT_FALSE(parse_simd_isa(bad, &isa, &is_auto)) << bad;
+  }
+
+  // The scalar path exists everywhere; pinning an ISA the host/build
+  // cannot execute must throw instead of silently dispatching garbage.
+  EXPECT_TRUE(simd_isa_supported(SimdIsa::kScalar));
+  EXPECT_TRUE(simd_isa_supported(detect_simd_isa()));
+  for (const SimdIsa candidate : {SimdIsa::kSse2, SimdIsa::kNeon,
+                                  SimdIsa::kAvx2, SimdIsa::kAvx512}) {
+    if (simd_isa_supported(candidate)) continue;
+    EXPECT_THROW(set_simd_isa_override(candidate), InvalidArgument);
+  }
+  clear_simd_isa_override();
+}
+
+TEST(McSimd, ForcedIsaMatrixBitIdenticalToScalar) {
+  // Every vector ISA the host can run must reproduce the forced-scalar
+  // results double for double — yield, tail, and importance weights —
+  // cold and warm op cache, serial and on 1/2/8 worker threads.
+  YieldConfig ycfg;
+  ycfg.geometry = {16, 32};
+  ycfg.keep_per_bit_margins = true;
+  TailConfig tcfg;
+  tcfg.use_batch = true;
+  const std::vector<double> shift = {2.0, 1.0, 0.0};
+  const auto block_fails = [](const GaussianBlock& block, std::size_t,
+                              std::uint8_t* fails) {
+    const double* z0 = block.axis(0);
+    const double* z1 = block.axis(1);
+    for (std::size_t lane = 0; lane < block.size; ++lane) {
+      if (z0[lane] + 0.5 * z1[lane] > 2.5) fails[lane] = 1;
+    }
+  };
+  const auto run_importance = [&] {
+    return importance_sample_blocked(11, 4000, shift, block_fails, nullptr,
+                                     64);
+  };
+
+  const YieldResult y_scalar = [&] {
+    ScopedSimdIsa forced(SimdIsa::kScalar);
+    return run_with(ycfg, true);
+  }();
+  const TailEstimate t_scalar = [&] {
+    ScopedSimdIsa forced(SimdIsa::kScalar);
+    return estimate_margin_tail(tcfg, 7, 3000);
+  }();
+  const ImportanceEstimate i_scalar = [&] {
+    ScopedSimdIsa forced(SimdIsa::kScalar);
+    return run_importance();
+  }();
+
+  for (const SimdIsa isa : {SimdIsa::kSse2, SimdIsa::kNeon, SimdIsa::kAvx2,
+                            SimdIsa::kAvx512}) {
+    if (!simd_isa_supported(isa)) continue;
+    SCOPED_TRACE(simd_isa_name(isa));
+    ScopedSimdIsa forced(isa);
+    OpCache::local_shard().clear();
+    expect_yield_equal(y_scalar, run_with(ycfg, true));  // cold op cache
+    expect_yield_equal(y_scalar, run_with(ycfg, true));  // warm op cache
+    expect_tail_equal(t_scalar, estimate_margin_tail(tcfg, 7, 3000));
+    expect_estimate_equal(i_scalar, run_importance());
+    for (const std::size_t threads : {1u, 2u, 8u}) {
+      ThreadPool pool(threads);
+      expect_yield_equal(y_scalar, run_with(ycfg, true, &pool));
+      expect_tail_equal(t_scalar,
+                        estimate_margin_tail(tcfg, 7, 3000, &pool));
+      expect_estimate_equal(i_scalar,
+                            importance_sample_blocked(11, 4000, shift,
+                                                      block_fails, &pool,
+                                                      64));
+    }
+  }
 }
 
 // --------------------------------------------------- sampling fidelity

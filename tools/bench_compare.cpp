@@ -61,8 +61,15 @@ std::map<std::string, BenchSnapshot> load_set(const std::string& path) {
   }
   std::map<std::string, BenchSnapshot> out;
   for (const std::string& file : files) {
-    BenchSnapshot snap = BenchSnapshot::load(file);
-    out[snap.bench] = std::move(snap);
+    // A single unreadable or schema-mismatched snapshot should not
+    // abort the whole comparison — warn and diff the rest.
+    try {
+      BenchSnapshot snap = BenchSnapshot::load(file);
+      out[snap.bench] = std::move(snap);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "bench_compare: skipping %s: %s\n", file.c_str(),
+                   e.what());
+    }
   }
   return out;
 }
@@ -165,6 +172,14 @@ int main(int argc, char** argv) {
       t.add_row({m.name + " [" + m.unit + "]", format_value(m.value),
                  format_value(cm->value), format_delta(m.value, cm->value),
                  regressed ? "REGRESSED" : "ok"});
+    }
+    // Candidate-only metrics are additions (a new kernel or gate), not
+    // regressions: report them for the record, never gate on them.
+    for (const BenchMetric& cm : c.metrics) {
+      if (find_metric(b, cm.name) == nullptr) {
+        t.add_row({cm.name + " [" + cm.unit + "]", "-",
+                   format_value(cm.value), "-", "ADDED"});
+      }
     }
     for (const BenchHistogram& h : b.histograms) {
       const BenchHistogram* ch = find_histogram(c, h.name);

@@ -79,6 +79,18 @@ for doc in "$readme" "$root/DESIGN.md"; do
   fi
 done
 
+# --- 5. SIMD ISA override is documented -------------------------------
+# `--simd <isa>` / STTRAM_SIMD pin the runtime-dispatched kernel ISA;
+# both knobs must be discoverable from README and the design doc.
+for doc in "$readme" "$root/DESIGN.md"; do
+  for token in -simd STTRAM_SIMD; do
+    if ! grep -q -- "$token" "$doc"; then
+      echo "FAIL: '$token' missing from $(basename "$doc")" >&2
+      status=1
+    fi
+  done
+done
+
 ndirs="$(ls -d "$root"/src/sttram/*/ | wc -l)"
 ncmds="$(echo "$commands" | wc -l)"
 [ "$status" -eq 0 ] && \
